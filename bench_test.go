@@ -1,0 +1,200 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// micro-benchmarks of the pipeline stages. Each experiment benchmark
+// shares one lazily-built study context per benchmark function: the
+// first iteration pays for the dataset, later iterations measure the
+// aggregation, which is the quantity that scales with dataset size.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+package loopscope_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mssn/loopscope"
+	"github.com/mssn/loopscope/internal/campaign"
+	"github.com/mssn/loopscope/internal/core"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/experiments"
+	"github.com/mssn/loopscope/internal/policy"
+	"github.com/mssn/loopscope/internal/sig"
+	"github.com/mssn/loopscope/internal/throughput"
+	"github.com/mssn/loopscope/internal/trace"
+	"github.com/mssn/loopscope/internal/uesim"
+)
+
+// benchOpts keeps the shared benchmark dataset at a tractable size
+// while exercising every code path of the full study.
+func benchOpts() campaign.Options {
+	return campaign.Options{Seed: 42, Duration: 2 * time.Minute, RunScale: 0.4}
+}
+
+// benchExperiment runs one table/figure generator b.N times over a
+// shared context.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	ctx := experiments.NewContext(benchOpts())
+	g, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	g.Run(ctx) // warm the shared datasets outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := g.Run(ctx)
+		if len(res.Lines) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// One benchmark per paper table and figure (DESIGN.md's experiment
+// index).
+func BenchmarkFig1b(b *testing.B)  { benchExperiment(b, "fig1b") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+
+// --- pipeline micro-benchmarks ---
+
+// benchRunSetup builds a deployment and one looping cluster.
+func benchRunSetup(b *testing.B) (op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster) {
+	b.Helper()
+	op = policy.OPT()
+	dep = deploy.Build(op, deploy.AreasFor("OPT")[0], 43)
+	cl = campaign.FindShowcase(dep)
+	if cl == nil {
+		cl = dep.Clusters[0]
+	}
+	return
+}
+
+// BenchmarkSimulateRun measures one full 5-minute stationary run.
+func BenchmarkSimulateRun(b *testing.B) {
+	op, dep, cl := benchRunSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+			Duration: 5 * time.Minute, Seed: int64(i)})
+	}
+}
+
+// BenchmarkEmitParse measures the signaling-log text round trip.
+func BenchmarkEmitParse(b *testing.B) {
+	op, dep, cl := benchRunSetup(b)
+	res := uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7})
+	text := res.Log.String()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sig.Parse(strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtract measures CS-timeline extraction from a parsed log.
+func BenchmarkExtract(b *testing.B) {
+	op, dep, cl := benchRunSetup(b)
+	res := uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Extract(res.Log)
+	}
+}
+
+// BenchmarkDetectClassify measures loop detection plus classification.
+func BenchmarkDetectClassify(b *testing.B) {
+	op, dep, cl := benchRunSetup(b)
+	res := uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7})
+	tl := trace.Extract(res.Log)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Analyze(tl)
+	}
+}
+
+// BenchmarkThroughput measures the speed-series generator.
+func BenchmarkThroughput(b *testing.B) {
+	op, dep, cl := benchRunSetup(b)
+	res := uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7})
+	tl := trace.Extract(res.Log)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		throughput.Generate(tl, op, int64(i))
+	}
+}
+
+// BenchmarkFitModel measures §6 model training on a synthetic set.
+func BenchmarkFitModel(b *testing.B) {
+	truth := &core.Model{K: 0.6, T: 10, N: 2, Feature: core.FeatureSCellGap}
+	var samples []core.Sample
+	for i := 0; i < 49; i++ {
+		c := core.Combo{PCellGapDB: float64(i%14 - 7), SCellGapDB: float64(i % 12)}
+		samples = append(samples, core.Sample{Combos: []core.Combo{c}, Truth: truth.Predict([]core.Combo{c})})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Fit(samples, core.FeatureSCellGap)
+	}
+}
+
+// BenchmarkFullStudy measures the entire sparse measurement campaign at
+// benchmark scale (all 11 areas, every run analyzed).
+func BenchmarkFullStudy(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(42 + i)
+		st := campaign.Run(opts)
+		if len(st.Areas) != 11 {
+			b.Fatal("study incomplete")
+		}
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade end to end the way a
+// downstream user would.
+func BenchmarkPublicAPI(b *testing.B) {
+	op := loopscope.OperatorByName("OPT")
+	dep := loopscope.BuildDeployment(op, loopscope.Areas()[0], 43)
+	for i := 0; i < b.N; i++ {
+		res := loopscope.SimulateRun(loopscope.RunConfig{
+			Op: op, Field: dep.Field, Cluster: dep.Clusters[0],
+			Duration: time.Minute, Seed: int64(i)})
+		parsed, err := loopscope.ParseLogString(res.Log.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		loopscope.Analyze(loopscope.ExtractTimeline(parsed))
+	}
+}
+
+// Extension experiments (beyond the paper's figures).
+func BenchmarkF12Regression(b *testing.B)      { benchExperiment(b, "f12") }
+func BenchmarkWalkExperiment(b *testing.B)     { benchExperiment(b, "walk") }
+func BenchmarkAppsExperiment(b *testing.B)     { benchExperiment(b, "apps") }
+func BenchmarkMitigationStudy(b *testing.B)    { benchExperiment(b, "mitigation") }
+func BenchmarkStickinessAblation(b *testing.B) { benchExperiment(b, "ablation-sticky") }

@@ -1,0 +1,85 @@
+// Command arfcn resolves 3GPP channel numbers the way the paper's
+// referenced online calculator does: NR-ARFCN and downlink EARFCN to
+// carrier frequency and operating band, plus the study's channel-width
+// registry.
+//
+// Usage:
+//
+//	arfcn [-lte] <channel> [<channel>...]
+//	arfcn -study              print the study's channel inventory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/policy"
+)
+
+func main() {
+	var (
+		lte   = flag.Bool("lte", false, "treat the channels as downlink EARFCNs (4G)")
+		study = flag.Bool("study", false, "print the three operators' channel inventories")
+	)
+	flag.Parse()
+
+	if *study {
+		printStudy()
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: arfcn [-lte] <channel> [...] | arfcn -study")
+		os.Exit(2)
+	}
+	rat := band.RATNR
+	if *lte {
+		rat = band.RATLTE
+	}
+	for _, arg := range flag.Args() {
+		ch, err := strconv.Atoi(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arfcn: %q is not a channel number\n", arg)
+			os.Exit(2)
+		}
+		printChannel(rat, ch)
+	}
+}
+
+// printChannel resolves one channel.
+func printChannel(rat band.RAT, ch int) {
+	freq, ok := band.FreqMHz(rat, ch)
+	if !ok {
+		fmt.Printf("%-8d %s: not on a known downlink raster\n", ch, rat)
+		return
+	}
+	name := band.BandName(rat, ch)
+	if name == "" {
+		name = "?"
+	}
+	fmt.Printf("%-8d %s  %9.2f MHz  band %-4s width %3.0f MHz\n",
+		ch, rat, freq, name, band.DefaultWidthMHz(rat, ch))
+}
+
+// printStudy dumps each operator's deployed channels.
+func printStudy() {
+	for _, op := range policy.All() {
+		fmt.Printf("%s (%s, %s)\n", op.Name, op.FullName, op.Mode)
+		fmt.Println("  5G channels:")
+		for _, ch := range op.NRChannels {
+			fmt.Print("    ")
+			printChannel(band.RATNR, ch)
+		}
+		fmt.Println("  4G channels:")
+		for _, ch := range op.LTEChannels {
+			fmt.Print("    ")
+			printChannel(band.RATLTE, ch)
+		}
+		if p := op.ProblemChannel(); p != 0 {
+			fmt.Printf("  problematic channel (F14): %d\n", p)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,137 @@
+// Command campaign runs the measurement study and regenerates the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	campaign [-exp id|all] [-seed N] [-scale F] [-duration D] [-list]
+//
+// With -exp all (the default) every experiment runs in the paper's
+// presentation order, sharing one study dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/mssn/loopscope"
+	"github.com/mssn/loopscope/internal/report"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment ID (fig6, table5, ...) or 'all'")
+		seed     = flag.Int64("seed", 42, "master seed of the study")
+		scale    = flag.Float64("scale", 1.0, "run-count scale factor")
+		duration = flag.Duration("duration", 5*time.Minute, "stationary run duration")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		export   = flag.String("export", "", "directory to export the dataset as CSV (runs/loops/locations)")
+		reportTo = flag.String("report", "", "write a full markdown report to this file")
+	)
+	flag.Parse()
+
+	ids := loopscope.ExperimentIDs()
+	if *list {
+		keys := make([]string, 0, len(ids))
+		for id := range ids {
+			keys = append(keys, id)
+		}
+		sort.Strings(keys)
+		for _, id := range keys {
+			fmt.Printf("%-8s %s\n", id, ids[id])
+		}
+		return
+	}
+
+	opts := loopscope.StudyOptions{Seed: *seed, RunScale: *scale, Duration: *duration}
+
+	if *export != "" {
+		if err := exportDataset(*export, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *reportTo != "" {
+		f, err := os.Create(*reportTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		ropts := report.Options{Campaign: opts}
+		if *exp != "all" {
+			ropts.IDs = []string{*exp}
+		}
+		if err := report.Write(f, ropts); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *reportTo)
+		return
+	}
+
+	run := func(id string) {
+		lines, _, ok := loopscope.Experiment(id, opts)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "campaign: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==================== %s — %s\n", id, ids[id])
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Println()
+	}
+
+	if *exp != "all" {
+		run(*exp)
+		return
+	}
+	// The batch API shares one study dataset across all experiments.
+	for _, res := range loopscope.Experiments(nil, opts) {
+		fmt.Printf("==================== %s — %s\n", res.ID, res.Title)
+		for _, l := range res.Lines {
+			fmt.Println(l)
+		}
+		fmt.Println()
+	}
+}
+
+// exportDataset runs the study and writes the CSV tables.
+func exportDataset(dir string, opts loopscope.StudyOptions) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	st := loopscope.RunStudy(opts)
+	for _, f := range []struct {
+		name  string
+		write func(*os.File) error
+	}{
+		{"runs.csv", func(f *os.File) error { return loopscope.ExportStudyCSV(st, f, nil, nil) }},
+		{"loops.csv", func(f *os.File) error { return loopscope.ExportStudyCSV(st, nil, f, nil) }},
+		{"locations.csv", func(f *os.File) error { return loopscope.ExportStudyCSV(st, nil, nil, f) }},
+	} {
+		file, err := os.Create(filepath.Join(dir, f.name))
+		if err != nil {
+			return err
+		}
+		if err := f.write(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", filepath.Join(dir, f.name))
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+// Command loopctl analyzes a signaling capture: it extracts the
+// serving-cell-set timeline, detects 5G ON-OFF loops, classifies their
+// causes and prints per-cycle impact metrics — the paper's full
+// methodology over one log file.
+//
+// Usage:
+//
+//	loopctl analyze <logfile>    analyze an NSG-style signaling log
+//	loopctl demo                 generate and analyze a sample loop run
+//
+// With "-" as the file name, analyze reads from standard input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/mssn/loopscope"
+)
+
+var jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "analyze":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = analyze(args[1])
+	case "demo":
+		err = demo()
+	case "export":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = export(args[1])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loopctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `loopctl — 5G ON-OFF loop analyzer
+
+usage (add -json before the subcommand for machine-readable output):
+  loopctl analyze <logfile|->   analyze an NSG-style signaling log
+  loopctl demo                  generate and analyze a sample loop run
+  loopctl export <file>         write a simulated loop capture to a file
+`)
+}
+
+// bestLoopSite returns the deployment's most loop-prone S1E3 cluster
+// (smallest co-channel gap).
+func bestLoopSite(dep *loopscope.Deployment) *loopscope.Cluster {
+	best := dep.Clusters[0]
+	bestGap := 1e9
+	for _, cl := range dep.Clusters {
+		if cl.Arch.String() != "s1e3" {
+			continue
+		}
+		pair := cl.CellsOnChannel(387410)
+		if len(pair) < 2 {
+			continue
+		}
+		gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm - dep.Field.Median(pair[1], cl.Loc).RSRPDBm
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			bestGap, best = gap, cl
+		}
+	}
+	return best
+}
+
+// export writes a simulated looping capture to a file, giving users a
+// realistic input for `loopctl analyze` and for testing their own
+// tooling against the log format.
+func export(path string) error {
+	op := loopscope.OperatorByName("OPT")
+	dep := loopscope.BuildDeployment(op, loopscope.Areas()[0], 43)
+	cl := bestLoopSite(dep)
+	res := loopscope.SimulateRun(loopscope.RunConfig{
+		Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := res.Log.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events over %s)\n", path, res.Log.Len(),
+		res.Log.Duration().Round(time.Second))
+	return nil
+}
+
+// analyze parses and reports one log file.
+func analyze(path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	log, err := loopscope.ParseLog(r)
+	if err != nil {
+		return err
+	}
+	report(log)
+	return nil
+}
+
+// demo simulates one looping run (an S1E3 site on the SA operator) and
+// analyzes it, so the tool is demonstrable without a capture in hand.
+func demo() error {
+	op := loopscope.OperatorByName("OPT")
+	area := loopscope.Areas()[0]
+	dep := loopscope.BuildDeployment(op, area, 43)
+	// Pick the location whose archetype loops most reliably.
+	cl := bestLoopSite(dep)
+	res := loopscope.SimulateRun(loopscope.RunConfig{
+		Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 3 * time.Minute, Seed: 7,
+	})
+	fmt.Printf("simulated 3-minute run at %v (%s, %s)\n\n", cl.Loc, op.Name, op.Mode)
+	report(res.Log)
+	return nil
+}
+
+// jsonReport is the machine-readable analysis document.
+type jsonReport struct {
+	Events    int           `json:"events"`
+	DurationS float64       `json:"duration_s"`
+	Occupancy jsonOccupancy `json:"occupancy"`
+	Steps     []jsonStep    `json:"steps"`
+	Loops     []jsonLoop    `json:"loops"`
+}
+
+type jsonOccupancy struct {
+	IdleS  float64 `json:"idle_s"`
+	SAS    float64 `json:"sa_s"`
+	NSAS   float64 `json:"nsa_s"`
+	LTES   float64 `json:"lte_only_s"`
+	Swings int     `json:"on_off_swings"`
+}
+
+type jsonStep struct {
+	AtS   float64 `json:"at_s"`
+	State string  `json:"state"`
+	Set   string  `json:"set"`
+	Cause string  `json:"cause,omitempty"`
+}
+
+type jsonLoop struct {
+	Subtype     string   `json:"subtype"`
+	Type        string   `json:"type"`
+	Form        string   `json:"form"`
+	Fingerprint string   `json:"fingerprint"`
+	CycleLen    int      `json:"cycle_len"`
+	Reps        int      `json:"reps"`
+	CycleKeys   []string `json:"cycle_keys"`
+	AvgOnS      float64  `json:"avg_on_s"`
+	AvgOffS     float64  `json:"avg_off_s"`
+}
+
+// reportJSON writes the analysis as JSON.
+func reportJSON(log *loopscope.Log) {
+	tl := loopscope.ExtractTimeline(log)
+	a := loopscope.Analyze(tl)
+	occ := tl.Occupy()
+	doc := jsonReport{
+		Events:    log.Len(),
+		DurationS: log.Duration().Seconds(),
+		Occupancy: jsonOccupancy{
+			IdleS: occ.Idle.Seconds(), SAS: occ.SA.Seconds(),
+			NSAS: occ.NSA.Seconds(), LTES: occ.LTE.Seconds(),
+			Swings: occ.Swings,
+		},
+	}
+	for _, s := range tl.Steps {
+		js := jsonStep{AtS: s.At.Seconds(), State: s.Set.State().String(), Set: s.Set.String()}
+		if s.Evidence.Kind.String() != "none" {
+			js.Cause = s.Evidence.Kind.String()
+		}
+		doc.Steps = append(doc.Steps, js)
+	}
+	for i, l := range a.Loops {
+		var on, off time.Duration
+		cycles := l.Cycles()
+		for _, c := range cycles {
+			on += c.On
+			off += c.Off
+		}
+		n := time.Duration(len(cycles))
+		sub := a.Subtypes[i]
+		doc.Loops = append(doc.Loops, jsonLoop{
+			Subtype: sub.String(), Type: sub.Type().String(), Form: l.Form.String(),
+			Fingerprint: l.Fingerprint(), CycleLen: l.CycleLen, Reps: l.Reps,
+			CycleKeys: l.CycleKeys(),
+			AvgOnS:    (on / n).Seconds(), AvgOffS: (off / n).Seconds(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// report prints the analysis of a parsed log.
+func report(log *loopscope.Log) {
+	if *jsonOut {
+		reportJSON(log)
+		return
+	}
+	tl := loopscope.ExtractTimeline(log)
+	occ := tl.Occupy()
+	fmt.Printf("events: %d, duration: %s, cell-set changes: %d\n",
+		log.Len(), log.Duration().Round(time.Millisecond), len(tl.Steps))
+	fmt.Printf("occupancy: 5G SA %s, 5G NSA %s, 4G-only %s, IDLE %s (5G OFF %.0f%%, %d ON→OFF swings)\n",
+		occ.SA.Round(time.Second), occ.NSA.Round(time.Second),
+		occ.LTE.Round(time.Second), occ.Idle.Round(time.Second),
+		100*occ.OffRatio(), occ.Swings)
+	fmt.Println("\nserving cell set timeline:")
+	for i, s := range tl.Steps {
+		cause := ""
+		if s.Evidence.Kind.String() != "none" {
+			cause = "  ← " + s.Evidence.Kind.String()
+			if s.Evidence.PendingMod != nil {
+				cause += fmt.Sprintf(" (SCell mod %s → %s)",
+					s.Evidence.PendingMod.Released, s.Evidence.PendingMod.Added)
+			}
+		}
+		fmt.Printf("  %3d  t=%-10s %s%s\n", i, s.At.Round(time.Millisecond), s.Set, cause)
+		if i == 30 && len(tl.Steps) > 34 {
+			fmt.Printf("  ... (%d more)\n", len(tl.Steps)-31)
+			break
+		}
+	}
+
+	a := loopscope.Analyze(tl)
+	if !a.HasLoop() {
+		fmt.Println("\nno 5G ON-OFF loop detected (form I)")
+		return
+	}
+	fmt.Printf("\ndetected %d loop(s):\n", len(a.Loops))
+	for i, l := range a.Loops {
+		sub := a.Subtypes[i]
+		cycles := l.Cycles()
+		var on, off time.Duration
+		for _, c := range cycles {
+			on += c.On
+			off += c.Off
+		}
+		n := time.Duration(len(cycles))
+		fmt.Printf("  loop %d: %v (%s) — cycle of %d sets × %d reps; avg ON %s, OFF %s\n",
+			i+1, sub, l.Form, l.CycleLen, l.Reps,
+			(on / n).Round(100*time.Millisecond), (off / n).Round(100*time.Millisecond))
+		for _, k := range l.CycleKeys() {
+			fmt.Printf("         %s\n", k)
+		}
+	}
+}

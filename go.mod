@@ -1,0 +1,3 @@
+module github.com/mssn/loopscope
+
+go 1.22

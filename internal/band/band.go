@@ -1,0 +1,194 @@
+// Package band implements the 3GPP frequency-raster arithmetic the
+// paper relies on to talk about cells: NR-ARFCN ↔ frequency conversion
+// per TS 38.104 §5.4.2 (the global frequency raster), EARFCN ↔ frequency
+// conversion per TS 36.101 §5.7.3, and the band registries for every NR
+// and LTE band observed in the study (Table 3: NR n5/n25/n41/n71/n77 and
+// LTE 2/5/12/13/17/30/66, plus the bands appearing in the appendix
+// instances).
+package band
+
+import "fmt"
+
+// RAT identifies a radio access technology.
+type RAT uint8
+
+// The two radio access technologies of the study.
+const (
+	RATLTE RAT = iota + 1 // 4G E-UTRA
+	RATNR                 // 5G New Radio
+)
+
+// String returns the colloquial generation name used in the paper.
+func (r RAT) String() string {
+	switch r {
+	case RATLTE:
+		return "4G"
+	case RATNR:
+		return "5G"
+	default:
+		return fmt.Sprintf("RAT(%d)", uint8(r))
+	}
+}
+
+// NRFreqMHz converts an NR-ARFCN to its RF reference frequency in MHz
+// following the global frequency raster of TS 38.104 §5.4.2.1:
+//
+//	F_REF = F_REF-Offs + ΔF_Global · (N_REF − N_REF-Offs)
+//
+// with the three raster ranges (5 kHz, 15 kHz, 60 kHz granularity).
+func NRFreqMHz(arfcn int) float64 {
+	switch {
+	case arfcn < 600000:
+		return 0.005 * float64(arfcn)
+	case arfcn <= 2016666:
+		return 3000 + 0.015*float64(arfcn-600000)
+	default:
+		return 24250.08 + 0.060*float64(arfcn-2016667)
+	}
+}
+
+// NRARFCN converts an RF reference frequency in MHz to the nearest
+// NR-ARFCN on the global raster. It is the inverse of NRFreqMHz up to
+// raster granularity.
+func NRARFCN(freqMHz float64) int {
+	switch {
+	case freqMHz < 3000:
+		return int(freqMHz/0.005 + 0.5)
+	case freqMHz < 24250.08:
+		return 600000 + int((freqMHz-3000)/0.015+0.5)
+	default:
+		return 2016667 + int((freqMHz-24250.08)/0.060+0.5)
+	}
+}
+
+// lteBand describes one E-UTRA operating band's downlink raster segment
+// (TS 36.101 Table 5.7.3-1).
+type lteBand struct {
+	Band    int
+	FDLLow  float64 // MHz, F_DL_low
+	NOffs   int     // N_Offs-DL
+	NDLMin  int     // first EARFCN of the band
+	NDLMax  int     // last EARFCN of the band
+	FDLHigh float64 // MHz, upper edge of the DL band
+}
+
+// lteBands lists the downlink rasters for the LTE bands that appear in
+// the study's dataset (Table 3) and appendix loop instances.
+var lteBands = []lteBand{
+	{Band: 2, FDLLow: 1930, NOffs: 600, NDLMin: 600, NDLMax: 1199, FDLHigh: 1990},
+	{Band: 4, FDLLow: 2110, NOffs: 1950, NDLMin: 1950, NDLMax: 2399, FDLHigh: 2155},
+	{Band: 5, FDLLow: 869, NOffs: 2400, NDLMin: 2400, NDLMax: 2649, FDLHigh: 894},
+	{Band: 12, FDLLow: 729, NOffs: 5010, NDLMin: 5010, NDLMax: 5179, FDLHigh: 746},
+	{Band: 13, FDLLow: 746, NOffs: 5180, NDLMin: 5180, NDLMax: 5279, FDLHigh: 756},
+	{Band: 17, FDLLow: 734, NOffs: 5730, NDLMin: 5730, NDLMax: 5849, FDLHigh: 746},
+	{Band: 30, FDLLow: 2350, NOffs: 9770, NDLMin: 9770, NDLMax: 9869, FDLHigh: 2360},
+	{Band: 66, FDLLow: 2110, NOffs: 66436, NDLMin: 66436, NDLMax: 67335, FDLHigh: 2200},
+}
+
+// LTEFreqMHz converts a downlink EARFCN to its carrier frequency in MHz
+// (TS 36.101 §5.7.3: F_DL = F_DL_low + 0.1·(N_DL − N_Offs-DL)). The
+// second return value reports whether the EARFCN falls in a known band.
+func LTEFreqMHz(earfcn int) (float64, bool) {
+	for _, b := range lteBands {
+		if earfcn >= b.NDLMin && earfcn <= b.NDLMax {
+			return b.FDLLow + 0.1*float64(earfcn-b.NOffs), true
+		}
+	}
+	return 0, false
+}
+
+// LTEBand returns the E-UTRA operating band number of a downlink EARFCN,
+// or 0 if unknown.
+func LTEBand(earfcn int) int {
+	for _, b := range lteBands {
+		if earfcn >= b.NDLMin && earfcn <= b.NDLMax {
+			return b.Band
+		}
+	}
+	return 0
+}
+
+// nrBand describes one NR operating band by its downlink frequency range
+// (TS 38.104 Table 5.2-1).
+type nrBand struct {
+	Name    string
+	LowMHz  float64
+	HighMHz float64
+}
+
+// nrBands lists the NR bands observed in the study, ordered so that the
+// first match wins for overlapping ranges (n25 ⊂ n2's range etc. — the
+// study only uses the names below).
+var nrBands = []nrBand{
+	{Name: "n71", LowMHz: 617, HighMHz: 652},
+	{Name: "n5", LowMHz: 869, HighMHz: 894},
+	{Name: "n25", LowMHz: 1930, HighMHz: 1995},
+	{Name: "n41", LowMHz: 2496, HighMHz: 2690},
+	{Name: "n77", LowMHz: 3300, HighMHz: 4200},
+	{Name: "n79", LowMHz: 4400, HighMHz: 5000},
+}
+
+// NRBand returns the NR band name ("n41", "n25", ...) of an NR-ARFCN, or
+// "" if the frequency is outside every registered band.
+func NRBand(arfcn int) string {
+	f := NRFreqMHz(arfcn)
+	for _, b := range nrBands {
+		if f >= b.LowMHz && f <= b.HighMHz {
+			return b.Name
+		}
+	}
+	return ""
+}
+
+// BandName returns the study's band label for a channel of the given
+// RAT: "n41"-style for NR, "2"/"12"-style for LTE, "" when unknown.
+func BandName(rat RAT, channel int) string {
+	switch rat {
+	case RATNR:
+		return NRBand(channel)
+	case RATLTE:
+		if b := LTEBand(channel); b != 0 {
+			return fmt.Sprintf("%d", b)
+		}
+	}
+	return ""
+}
+
+// FreqMHz returns the carrier frequency of a channel number for the
+// given RAT, and whether the channel was recognized.
+func FreqMHz(rat RAT, channel int) (float64, bool) {
+	switch rat {
+	case RATNR:
+		return NRFreqMHz(channel), true
+	case RATLTE:
+		return LTEFreqMHz(channel)
+	}
+	return 0, false
+}
+
+// DefaultWidthMHz returns the channel bandwidth used in the paper for
+// channels it reports explicitly (Table 2), and a RAT-typical default
+// otherwise. The "improper" n25 channels are 10 MHz; the n41 channels
+// are 90/100 MHz wide.
+func DefaultWidthMHz(rat RAT, channel int) float64 {
+	switch channel {
+	case 521310:
+		return 90
+	case 501390:
+		return 100
+	case 398410, 387410:
+		return 10
+	case 126270:
+		return 20
+	}
+	switch rat {
+	case RATNR:
+		if NRBand(channel) == "n77" {
+			return 60
+		}
+		return 20
+	case RATLTE:
+		return 10
+	}
+	return 10
+}

@@ -1,0 +1,160 @@
+package band
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestNRFreqPaperChannels checks every 5G channel number quoted in the
+// paper against the center frequency the paper reports for it.
+func TestNRFreqPaperChannels(t *testing.T) {
+	cases := []struct {
+		arfcn   int
+		wantMHz float64
+		tolMHz  float64
+		band    string
+	}{
+		{521310, 2607, 1, "n41"}, // Table 2: 5G1
+		{501390, 2507, 1, "n41"}, // Table 2: 5G2
+		{398410, 1992, 1, "n25"}, // Table 2: 5G3
+		{387410, 1937, 1, "n25"}, // Table 2: 5G4/5G5 — the problematic channel
+		{126270, 631.35, 1, "n71"},
+		{632736, 3491.04, 1, "n77"}, // OPA SCG (Fig. 30)
+		{658080, 3871.20, 1, "n77"},
+		{648672, 3730.08, 1, "n77"}, // OPV N2E2 (Fig. 33)
+		{653952, 3809.28, 1, "n77"},
+		{174770, 873.85, 1, "n5"}, // OPA n5 SCG (Fig. 31)
+	}
+	for _, c := range cases {
+		got := NRFreqMHz(c.arfcn)
+		if math.Abs(got-c.wantMHz) > c.tolMHz {
+			t.Errorf("NRFreqMHz(%d) = %.2f, want %.2f±%.1f", c.arfcn, got, c.wantMHz, c.tolMHz)
+		}
+		if b := NRBand(c.arfcn); b != c.band {
+			t.Errorf("NRBand(%d) = %q, want %q", c.arfcn, b, c.band)
+		}
+	}
+}
+
+// TestLTEFreqPaperChannels checks the 4G channels quoted in the paper.
+func TestLTEFreqPaperChannels(t *testing.T) {
+	cases := []struct {
+		earfcn  int
+		wantMHz float64
+		band    int
+	}{
+		{5815, 742.5, 17}, // OPA's "5G-disabled" channel, paper: ~742 MHz band 17
+		{5230, 751, 13},   // OPV's problematic channel, paper: band 13
+		{5145, 742.5, 12}, // the redirect target channel
+		{850, 1955, 2},
+		{1075, 1977.5, 2},
+		{2560, 885, 5},
+		{9820, 2355, 30},
+		{66486, 2115, 66},
+		{66586, 2125, 66},
+		{66936, 2160, 66},
+	}
+	for _, c := range cases {
+		got, ok := LTEFreqMHz(c.earfcn)
+		if !ok {
+			t.Errorf("LTEFreqMHz(%d): unknown channel", c.earfcn)
+			continue
+		}
+		if math.Abs(got-c.wantMHz) > 1.5 {
+			t.Errorf("LTEFreqMHz(%d) = %.1f, want %.1f", c.earfcn, got, c.wantMHz)
+		}
+		if b := LTEBand(c.earfcn); b != c.band {
+			t.Errorf("LTEBand(%d) = %d, want %d", c.earfcn, b, c.band)
+		}
+	}
+}
+
+// TestNRARFCNRoundTrip verifies NRARFCN inverts NRFreqMHz on the raster.
+func TestNRARFCNRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		arfcn := int(n % 3279166)
+		return NRARFCN(NRFreqMHz(arfcn)) == arfcn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNRFreqMonotone property: frequency is nondecreasing in ARFCN.
+func TestNRFreqMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int(a%3279166), int(b%3279166)
+		if x > y {
+			x, y = y, x
+		}
+		return NRFreqMHz(x) <= NRFreqMHz(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRasterBoundaries checks the seams between the three global-raster
+// segments are continuous per TS 38.104.
+func TestRasterBoundaries(t *testing.T) {
+	if got := NRFreqMHz(600000); got != 3000 {
+		t.Errorf("NRFreqMHz(600000) = %v, want 3000", got)
+	}
+	if got := NRFreqMHz(2016666); math.Abs(got-24249.99) > 0.001 {
+		t.Errorf("NRFreqMHz(2016666) = %v, want 24249.99", got)
+	}
+	if got := NRFreqMHz(2016667); math.Abs(got-24250.08) > 0.001 {
+		t.Errorf("NRFreqMHz(2016667) = %v, want 24250.08", got)
+	}
+}
+
+func TestBandName(t *testing.T) {
+	if got := BandName(RATNR, 387410); got != "n25" {
+		t.Errorf("BandName(NR, 387410) = %q, want n25", got)
+	}
+	if got := BandName(RATLTE, 5815); got != "17" {
+		t.Errorf("BandName(LTE, 5815) = %q, want 17", got)
+	}
+	if got := BandName(RATLTE, 999999); got != "" {
+		t.Errorf("BandName(LTE, 999999) = %q, want empty", got)
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	cases := []struct {
+		rat  RAT
+		ch   int
+		want float64
+	}{
+		{RATNR, 521310, 90},
+		{RATNR, 501390, 100},
+		{RATNR, 387410, 10},
+		{RATNR, 398410, 10},
+		{RATNR, 632736, 60}, // n77 default
+		{RATLTE, 5815, 10},
+	}
+	for _, c := range cases {
+		if got := DefaultWidthMHz(c.rat, c.ch); got != c.want {
+			t.Errorf("DefaultWidthMHz(%v, %d) = %v, want %v", c.rat, c.ch, got, c.want)
+		}
+	}
+}
+
+func TestRATString(t *testing.T) {
+	if RATNR.String() != "5G" || RATLTE.String() != "4G" {
+		t.Errorf("RAT strings wrong: %s %s", RATNR, RATLTE)
+	}
+	if RAT(9).String() != "RAT(9)" {
+		t.Errorf("unknown RAT string: %s", RAT(9))
+	}
+}
+
+func TestFreqMHzUnknown(t *testing.T) {
+	if _, ok := FreqMHz(RATLTE, 400000); ok {
+		t.Error("FreqMHz should not recognize EARFCN 400000")
+	}
+	if _, ok := FreqMHz(RAT(0), 100); ok {
+		t.Error("FreqMHz should reject unknown RAT")
+	}
+}

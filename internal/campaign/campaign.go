@@ -1,0 +1,294 @@
+// Package campaign orchestrates the measurement study: it executes
+// stationary runs across the 11 test areas exactly the way §4.1
+// describes — multiple locations per area, repeated 5-minute bulk
+// download runs per location — and keeps per-run records (CS timeline,
+// loop analysis, throughput series) that the experiment generators
+// aggregate into the paper's tables and figures.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/mssn/loopscope/internal/core"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/device"
+	"github.com/mssn/loopscope/internal/policy"
+	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/throughput"
+	"github.com/mssn/loopscope/internal/trace"
+	"github.com/mssn/loopscope/internal/uesim"
+)
+
+// Options scales the study. The zero value gives the full default
+// study; tests use reduced RunScale and Duration.
+type Options struct {
+	// Seed is the study's master seed; everything derives from it.
+	Seed int64
+	// Duration of each stationary run (default 5 minutes, §4.1).
+	Duration time.Duration
+	// RunScale multiplies the per-area run counts (default 1.0).
+	RunScale float64
+	// Device is the test phone (default OnePlus 12R).
+	Device *device.Profile
+	// KeepSpeeds records the per-second throughput series (needed for
+	// Fig. 1b/11; off by default to keep memory flat).
+	KeepSpeeds bool
+}
+
+// withDefaults fills in the zero values.
+func (o Options) withDefaults() Options {
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Minute
+	}
+	if o.RunScale == 0 {
+		o.RunScale = 1
+	}
+	if o.Device == nil {
+		o.Device = device.OnePlus12R()
+	}
+	return o
+}
+
+// Record is one stationary run's outcome.
+type Record struct {
+	Op       string
+	Area     string
+	City     string
+	LocIndex int
+	RunIndex int
+	Device   string
+	Arch     deploy.Archetype
+
+	Timeline  *trace.Timeline
+	Analysis  core.Analysis
+	Speeds    []throughput.Sample
+	MeasCount int // individual RSRP/RSRQ values reported (Table 3)
+}
+
+// HasLoop reports whether the run contained an ON-OFF loop.
+func (r *Record) HasLoop() bool { return r.Analysis.HasLoop() }
+
+// Form returns the run's sequence form (Fig. 4). A run is persistent
+// when it *ends* inside a loop, so the last detected loop's form
+// decides: a run that briefly left a loop and re-entered it still ends
+// in the loop.
+func (r *Record) Form() core.Form {
+	if !r.HasLoop() {
+		return core.FormNoLoop
+	}
+	return r.Analysis.Loops[len(r.Analysis.Loops)-1].Form
+}
+
+// Subtype returns the primary loop's sub-type (SubtypeUnknown if none).
+func (r *Record) Subtype() core.Subtype {
+	_, st := r.Analysis.Primary()
+	return st
+}
+
+// AreaResult bundles one area's deployment and run records.
+type AreaResult struct {
+	Spec    deploy.AreaSpec
+	Dep     *deploy.Deployment
+	Records []*Record
+}
+
+// LocationRecords groups the area's records by location index.
+func (a *AreaResult) LocationRecords() [][]*Record {
+	out := make([][]*Record, len(a.Dep.Clusters))
+	for _, r := range a.Records {
+		out[r.LocIndex] = append(out[r.LocIndex], r)
+	}
+	return out
+}
+
+// LoopLikelihood returns the per-location loop likelihood (Fig. 8).
+func (a *AreaResult) LoopLikelihood() []float64 {
+	locs := a.LocationRecords()
+	out := make([]float64, len(locs))
+	for i, recs := range locs {
+		if len(recs) == 0 {
+			continue
+		}
+		n := 0
+		for _, r := range recs {
+			if r.HasLoop() {
+				n++
+			}
+		}
+		out[i] = float64(n) / float64(len(recs))
+	}
+	return out
+}
+
+// Study is the full multi-operator dataset.
+type Study struct {
+	Opts  Options
+	Areas []*AreaResult
+}
+
+// Run executes the full study over all areas of all three operators.
+func Run(opts Options) *Study {
+	opts = opts.withDefaults()
+	st := &Study{Opts: opts}
+	for _, spec := range deploy.Areas() {
+		op := policy.ByName(spec.Operator)
+		st.Areas = append(st.Areas, RunArea(op, spec, opts))
+	}
+	return st
+}
+
+// RunOperator executes the study for a single operator.
+func RunOperator(op *policy.Operator, opts Options) *Study {
+	opts = opts.withDefaults()
+	st := &Study{Opts: opts}
+	for _, spec := range deploy.AreasFor(op.Name) {
+		st.Areas = append(st.Areas, RunArea(op, spec, opts))
+	}
+	return st
+}
+
+// RunArea executes all runs of one area. Runs are independent (each
+// derives its own seed), so they execute on a bounded worker pool; the
+// record order — and therefore every downstream aggregate — is
+// identical to the sequential execution.
+func RunArea(op *policy.Operator, spec deploy.AreaSpec, opts Options) *AreaResult {
+	opts = opts.withDefaults()
+	dep := deploy.Build(op, spec, opts.Seed+1)
+	res := &AreaResult{Spec: spec, Dep: dep}
+	runs := int(float64(spec.Runs)*opts.RunScale + 0.5)
+	if runs < 1 {
+		runs = 1
+	}
+	type job struct{ li, ri, slot int }
+	var jobs []job
+	for li := range dep.Clusters {
+		for ri := 0; ri < runs; ri++ {
+			jobs = append(jobs, job{li, ri, len(jobs)})
+		}
+	}
+	res.Records = make([]*Record, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				res.Records[j.slot] = ExecuteRun(op, dep, dep.Clusters[j.li], j.li, j.ri, opts)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return res
+}
+
+// ExecuteRun performs a single run and post-processes it through the
+// full analysis pipeline.
+func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
+	locIdx, runIdx int, opts Options) *Record {
+	opts = opts.withDefaults()
+	seed := opts.Seed*1_000_003 + int64(locIdx)*7919 + int64(runIdx)*104729 + int64(deployHash(dep.Area.ID))
+	result := uesim.Run(uesim.Config{
+		Op:       op,
+		Field:    dep.Field,
+		Cluster:  cl,
+		Device:   opts.Device,
+		Duration: opts.Duration,
+		Seed:     seed,
+	})
+	tl := trace.Extract(result.Log)
+	rec := &Record{
+		Op:       op.Name,
+		Area:     dep.Area.ID,
+		City:     dep.Area.City,
+		LocIndex: locIdx,
+		RunIndex: runIdx,
+		Device:   opts.Device.Name,
+		Arch:     cl.Arch,
+		Timeline: tl,
+		Analysis: core.Analyze(tl),
+	}
+	for _, e := range result.Log.Events {
+		if mr, ok := e.Msg.(rrc.MeasReport); ok {
+			rec.MeasCount += len(mr.Entries)
+		}
+	}
+	if opts.KeepSpeeds {
+		rec.Speeds = throughput.Generate(tl, op, seed+1)
+	}
+	return rec
+}
+
+// deployHash distinguishes run seeds across areas.
+func deployHash(id string) int {
+	h := 0
+	for _, c := range id {
+		h = h*31 + int(c)
+	}
+	return h
+}
+
+// Records returns all records, optionally filtered by operator name
+// ("" for all).
+func (s *Study) Records(op string) []*Record {
+	var out []*Record
+	for _, a := range s.Areas {
+		if op != "" && a.Spec.Operator != op {
+			continue
+		}
+		out = append(out, a.Records...)
+	}
+	return out
+}
+
+// AreaByID returns one area's results.
+func (s *Study) AreaByID(id string) *AreaResult {
+	for _, a := range s.Areas {
+		if a.Spec.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// FormCounts tallies sequence forms for an operator (Fig. 6).
+func (s *Study) FormCounts(op string) map[core.Form]int {
+	out := map[core.Form]int{}
+	for _, r := range s.Records(op) {
+		out[r.Form()]++
+	}
+	return out
+}
+
+// SubtypeCounts tallies loop sub-types for an operator or area.
+func SubtypeCounts(records []*Record) map[core.Subtype]int {
+	out := map[core.Subtype]int{}
+	for _, r := range records {
+		if r.HasLoop() {
+			out[r.Subtype()]++
+		}
+	}
+	return out
+}
+
+// LoopInstances returns every detected loop across records.
+func LoopInstances(records []*Record) []*core.Loop {
+	var out []*core.Loop
+	for _, r := range records {
+		out = append(out, r.Analysis.Loops...)
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mssn/loopscope/internal/core"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/policy"
+)
+
+// smallOpts keeps tests fast: slightly shorter runs, fewer repetitions.
+// The duration stays close to the real 5-minute runs because slow loops
+// (wide-gap S1E3 sites) need time to manifest.
+func smallOpts() Options {
+	return Options{Seed: 42, Duration: 240 * time.Second, RunScale: 0.5}
+}
+
+func TestRunAreaBasics(t *testing.T) {
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1] // A2: 6 locations
+	res := RunArea(op, spec, smallOpts())
+	wantRuns := 6 * 4 // 6 locations × max(1, 8*0.5) runs
+	if len(res.Records) != wantRuns {
+		t.Fatalf("records = %d, want %d", len(res.Records), wantRuns)
+	}
+	for _, r := range res.Records {
+		if r.Op != "OPT" || r.Area != "A2" {
+			t.Fatalf("bad record identity: %+v", r)
+		}
+		if r.Timeline == nil || len(r.Timeline.Steps) == 0 {
+			t.Fatal("record missing timeline")
+		}
+		if r.MeasCount == 0 {
+			t.Error("record should count measurement samples")
+		}
+	}
+	if got := len(res.LoopLikelihood()); got != 6 {
+		t.Errorf("likelihood entries = %d", got)
+	}
+}
+
+func TestStudyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	st := Run(smallOpts())
+	if len(st.Areas) != 11 {
+		t.Fatalf("areas = %d", len(st.Areas))
+	}
+	for _, op := range []string{"OPT", "OPA", "OPV"} {
+		recs := st.Records(op)
+		if len(recs) == 0 {
+			t.Fatalf("%s: no records", op)
+		}
+		loops := 0
+		for _, r := range recs {
+			if r.HasLoop() {
+				loops++
+			}
+		}
+		ratio := float64(loops) / float64(len(recs))
+		// F1: loops in roughly half the runs (generous band for the
+		// scaled-down test study).
+		if ratio < 0.25 || ratio > 0.75 {
+			t.Errorf("%s loop ratio = %.2f, want ~0.5", op, ratio)
+		}
+		// Persistent loops dominate (F1).
+		forms := st.FormCounts(op)
+		if forms[core.FormSemiPersistent] > forms[core.FormPersistent] {
+			t.Errorf("%s: semi-persistent (%d) should not dominate persistent (%d)",
+				op, forms[core.FormSemiPersistent], forms[core.FormPersistent])
+		}
+	}
+
+	// F13: S1E3 dominates OPT loops; N2 dominates OPA/OPV.
+	optCounts := SubtypeCounts(st.Records("OPT"))
+	if optCounts[core.S1E3] <= optCounts[core.S1E1] || optCounts[core.S1E3] <= optCounts[core.S1E2] {
+		t.Errorf("OPT subtype counts = %v, want S1E3 dominant", optCounts)
+	}
+	for _, op := range []string{"OPA", "OPV"} {
+		c := SubtypeCounts(st.Records(op))
+		n2 := c[core.N2E1] + c[core.N2E2]
+		n1 := c[core.N1E1] + c[core.N1E2]
+		if n2 <= n1 {
+			t.Errorf("%s subtype counts = %v, want N2 dominant", op, c)
+		}
+	}
+	// F13: N1E2 absent on OPV.
+	if c := SubtypeCounts(st.Records("OPV")); c[core.N1E2] != 0 {
+		t.Errorf("OPV should have no N1E2: %v", SubtypeCounts(st.Records("OPV")))
+	}
+	// No SA subtypes on NSA operators and vice versa.
+	for _, stx := range []core.Subtype{core.N1E1, core.N1E2, core.N2E1, core.N2E2} {
+		if optCounts[stx] != 0 {
+			t.Errorf("OPT has NSA subtype %v", stx)
+		}
+	}
+}
+
+func TestCombosFeatures(t *testing.T) {
+	op := policy.OPT()
+	dep := deploy.Build(op, deploy.AreasFor("OPT")[0], 43)
+	cl := FindShowcase(dep)
+	if cl == nil {
+		t.Skip("no showcase cluster at this seed")
+	}
+	combos := Combos(op, dep, cl, cl.Loc)
+	if len(combos) != 1 {
+		t.Fatalf("combos = %d", len(combos))
+	}
+	c := combos[0]
+	if c.SCellGapDB < 0 {
+		c.SCellGapDB = -c.SCellGapDB
+	}
+	// The showcase is the smallest-gap S1E3 cluster: gap well under the
+	// A3 offset.
+	if c.SCellGapDB > 10 {
+		t.Errorf("showcase SCell gap = %.1f dB, want small", c.SCellGapDB)
+	}
+	// The target anchor should be clearly preferred at its own site.
+	if c.PCellGapDB < 3 {
+		t.Errorf("PCell gap = %.1f dB, want positive preference", c.PCellGapDB)
+	}
+	if c.WorstSCellRSRPDBm > -60 || c.WorstSCellRSRPDBm < -130 {
+		t.Errorf("worst SCell RSRP = %.1f", c.WorstSCellRSRPDBm)
+	}
+}
+
+func TestDenseStudySmall(t *testing.T) {
+	op := policy.OPT()
+	dep := deploy.Build(op, deploy.AreasFor("OPT")[0], 43)
+	cl := FindShowcase(dep)
+	if cl == nil {
+		t.Skip("no showcase cluster at this seed")
+	}
+	opts := smallOpts()
+	points := DenseStudy(op, dep, cl, 60, 1, 3, opts) // 3×3 grid, 3 runs
+	if len(points) != 9 {
+		t.Fatalf("points = %d", len(points))
+	}
+	anyLoop := false
+	for _, p := range points {
+		if p.ProbS1E3 > 0 {
+			anyLoop = true
+		}
+		if p.ProbS1 < p.ProbS1E3 {
+			t.Errorf("S1 prob (%v) must include S1E3 (%v)", p.ProbS1, p.ProbS1E3)
+		}
+		if p.PairRSRP[0] == 0 || p.PairRSRP[1] == 0 {
+			t.Error("pair RSRP map missing")
+		}
+	}
+	if !anyLoop {
+		t.Error("dense grid around a showcase should contain looping points")
+	}
+	samples := TrainingSamples(points, true)
+	if len(samples) != 9 {
+		t.Fatalf("training samples = %d", len(samples))
+	}
+	m := core.Fit(samples, core.FeatureSCellGap)
+	if m == nil {
+		t.Fatal("Fit returned nil")
+	}
+}
+
+func TestExecuteRunDeterministic(t *testing.T) {
+	op := policy.OPA()
+	spec := deploy.AreasFor("OPA")[0]
+	opts := smallOpts()
+	dep := deploy.Build(op, spec, opts.Seed+1)
+	a := ExecuteRun(op, dep, dep.Clusters[0], 0, 0, opts)
+	b := ExecuteRun(op, dep, dep.Clusters[0], 0, 0, opts)
+	if len(a.Timeline.Steps) != len(b.Timeline.Steps) {
+		t.Fatal("non-deterministic run")
+	}
+	for i := range a.Timeline.Steps {
+		if !a.Timeline.Steps[i].Set.Equal(b.Timeline.Steps[i].Set) {
+			t.Fatal("non-deterministic timeline")
+		}
+	}
+}
+
+func TestKeepSpeeds(t *testing.T) {
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1]
+	opts := smallOpts()
+	opts.KeepSpeeds = true
+	dep := deploy.Build(op, spec, opts.Seed+1)
+	rec := ExecuteRun(op, dep, dep.Clusters[0], 0, 0, opts)
+	if len(rec.Speeds) == 0 {
+		t.Fatal("speeds not kept")
+	}
+	if got := len(rec.Speeds); got != int(opts.Duration/time.Second) {
+		t.Errorf("speed samples = %d", got)
+	}
+}
+
+func TestSparseSamples(t *testing.T) {
+	op := policy.OPT()
+	opts := smallOpts()
+	st := &Study{Opts: opts}
+	st.Areas = append(st.Areas, RunArea(op, deploy.AreasFor("OPT")[1], opts))
+	samples := SparseSamples(st, op, true)
+	if len(samples) != 6 {
+		t.Fatalf("samples = %d, want 6 locations", len(samples))
+	}
+	for _, s := range samples {
+		if s.Truth < 0 || s.Truth > 1 {
+			t.Errorf("truth out of range: %v", s.Truth)
+		}
+		if len(s.Combos) == 0 {
+			t.Error("sample without combos")
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	op := policy.OPT()
+	opts := smallOpts()
+	st := &Study{Opts: opts}
+	st.Areas = append(st.Areas, RunArea(op, deploy.AreasFor("OPT")[1], opts))
+
+	var runs, loops, locs strings.Builder
+	if err := st.WriteRunsCSV(&runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteLoopsCSV(&loops); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteLocationsCSV(&locs); err != nil {
+		t.Fatal(err)
+	}
+
+	runRows, err := csv.NewReader(strings.NewReader(runs.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runRows) != 1+len(st.Areas[0].Records) {
+		t.Errorf("runs.csv rows = %d, want %d", len(runRows), 1+len(st.Areas[0].Records))
+	}
+	if runRows[0][0] != "operator" {
+		t.Errorf("runs.csv header = %v", runRows[0])
+	}
+	locRows, err := csv.NewReader(strings.NewReader(locs.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locRows) != 1+6 {
+		t.Errorf("locations.csv rows = %d, want 7", len(locRows))
+	}
+	loopRows, err := csv.NewReader(strings.NewReader(loops.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every loop row's cycle time equals on+off.
+	for _, row := range loopRows[1:] {
+		cyc, _ := strconv.ParseFloat(row[8], 64)
+		on, _ := strconv.ParseFloat(row[9], 64)
+		off, _ := strconv.ParseFloat(row[10], 64)
+		if d := cyc - on - off; d > 0.01 || d < -0.01 {
+			t.Fatalf("cycle %v != on %v + off %v", cyc, on, off)
+		}
+	}
+}
+
+// TestCrossSeedStability guards the calibration against seed lottery:
+// the headline shapes must hold for several master seeds, not just the
+// default one.
+func TestCrossSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed study")
+	}
+	for _, seed := range []int64{7, 1234, 987654} {
+		opts := Options{Seed: seed, Duration: 240 * time.Second, RunScale: 0.5}
+		st := Run(opts)
+		for _, op := range []string{"OPT", "OPA", "OPV"} {
+			recs := st.Records(op)
+			loops := 0
+			for _, r := range recs {
+				if r.HasLoop() {
+					loops++
+				}
+			}
+			ratio := float64(loops) / float64(len(recs))
+			if ratio < 0.2 || ratio > 0.8 {
+				t.Errorf("seed %d %s: loop ratio %.2f out of band", seed, op, ratio)
+			}
+		}
+		optCounts := SubtypeCounts(st.Records("OPT"))
+		if optCounts[core.S1E3] <= optCounts[core.S1E1] {
+			t.Errorf("seed %d: S1E3 (%d) not above S1E1 (%d)", seed, optCounts[core.S1E3], optCounts[core.S1E1])
+		}
+		if c := SubtypeCounts(st.Records("OPV")); c[core.N1E2] != 0 {
+			t.Errorf("seed %d: OPV shows N1E2", seed)
+		}
+	}
+}

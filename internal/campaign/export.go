@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/mssn/loopscope/internal/core"
+	"github.com/mssn/loopscope/internal/policy"
+)
+
+// This file exports a study as CSV tables in the spirit of the paper's
+// released dataset [4]: one row per run, one per loop instance, one per
+// ON-OFF cycle, and one per location.
+
+// WriteRunsCSV writes one row per stationary run.
+func (s *Study) WriteRunsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"operator", "area", "city", "location", "run", "device", "archetype",
+		"form", "subtype", "loops", "cs_steps", "meas_samples",
+	}); err != nil {
+		return err
+	}
+	for _, a := range s.Areas {
+		for _, r := range a.Records {
+			sub := ""
+			if r.HasLoop() {
+				sub = r.Subtype().String()
+			}
+			rec := []string{
+				r.Op, r.Area, r.City,
+				strconv.Itoa(r.LocIndex), strconv.Itoa(r.RunIndex),
+				r.Device, r.Arch.String(),
+				formLabel(r.Form()), sub,
+				strconv.Itoa(len(r.Analysis.Loops)),
+				strconv.Itoa(len(r.Timeline.Steps)),
+				strconv.Itoa(r.MeasCount),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formLabel renders the run form as a short dataset label.
+func formLabel(f core.Form) string {
+	switch f {
+	case core.FormPersistent:
+		return "II-P"
+	case core.FormSemiPersistent:
+		return "II-SP"
+	default:
+		return "I"
+	}
+}
+
+// WriteLoopsCSV writes one row per ON-OFF cycle of every loop instance.
+func (s *Study) WriteLoopsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"operator", "area", "location", "run", "loop", "subtype", "form",
+		"cycle", "cycle_s", "on_s", "off_s", "off_ratio",
+	}); err != nil {
+		return err
+	}
+	for _, a := range s.Areas {
+		for _, r := range a.Records {
+			for li, loop := range r.Analysis.Loops {
+				sub := r.Analysis.Subtypes[li]
+				for ci, cm := range loop.Cycles() {
+					rec := []string{
+						r.Op, r.Area,
+						strconv.Itoa(r.LocIndex), strconv.Itoa(r.RunIndex),
+						strconv.Itoa(li), sub.String(), formLabel(loop.Form),
+						strconv.Itoa(ci),
+						fmt.Sprintf("%.3f", cm.Cycle().Seconds()),
+						fmt.Sprintf("%.3f", cm.On.Seconds()),
+						fmt.Sprintf("%.3f", cm.Off.Seconds()),
+						fmt.Sprintf("%.4f", cm.OffRatio()),
+					}
+					if err := cw.Write(rec); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLocationsCSV writes one row per test location with its measured
+// loop likelihood and prediction features.
+func (s *Study) WriteLocationsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"operator", "area", "location", "x_m", "y_m", "archetype",
+		"runs", "loop_likelihood", "pcell_gap_db", "scell_gap_db", "worst_scell_rsrp_dbm",
+	}); err != nil {
+		return err
+	}
+	for _, a := range s.Areas {
+		lik := a.LoopLikelihood()
+		byLoc := a.LocationRecords()
+		op := opFromStudy(a)
+		for li, cl := range a.Dep.Clusters {
+			var combo core.Combo
+			if op != nil {
+				if combos := Combos(op, a.Dep, cl, cl.Loc); len(combos) > 0 {
+					combo = combos[0]
+				}
+			}
+			rec := []string{
+				a.Spec.Operator, a.Spec.ID, strconv.Itoa(li),
+				fmt.Sprintf("%.1f", cl.Loc.X), fmt.Sprintf("%.1f", cl.Loc.Y),
+				cl.Arch.String(),
+				strconv.Itoa(len(byLoc[li])),
+				fmt.Sprintf("%.3f", lik[li]),
+				fmt.Sprintf("%.2f", combo.PCellGapDB),
+				fmt.Sprintf("%.2f", combo.SCellGapDB),
+				fmt.Sprintf("%.2f", combo.WorstSCellRSRPDBm),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// opFromStudy resolves the area's operator profile.
+func opFromStudy(a *AreaResult) *policy.Operator {
+	return policy.ByName(a.Spec.Operator)
+}

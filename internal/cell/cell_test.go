@@ -1,0 +1,256 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mssn/loopscope/internal/band"
+)
+
+func TestRefString(t *testing.T) {
+	r := Ref{PCI: 393, Channel: 521310}
+	if r.String() != "393@521310" {
+		t.Errorf("String = %q", r)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	r, err := ParseRef("273@387410")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != (Ref{273, 387410}) {
+		t.Errorf("ParseRef = %v", r)
+	}
+	for _, bad := range []string{"", "@", "273", "273@", "@387410", "x@1", "1@y"} {
+		if _, err := ParseRef(bad); err == nil {
+			t.Errorf("ParseRef(%q) should fail", bad)
+		}
+	}
+}
+
+// TestRefRoundTrip property: String/ParseRef round-trip.
+func TestRefRoundTrip(t *testing.T) {
+	f := func(pci uint16, ch uint32) bool {
+		r := Ref{PCI: int(pci), Channel: int(ch % 3279166)}
+		got, err := ParseRef(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustRefPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRef should panic on malformed input")
+		}
+	}()
+	MustRef("bogus")
+}
+
+func TestCellDerived(t *testing.T) {
+	c := &Cell{Ref: MustRef("393@521310"), RAT: band.RATNR}
+	if c.Band() != "n41" {
+		t.Errorf("Band = %q", c.Band())
+	}
+	if w := c.WidthMHz(); w != 90 {
+		t.Errorf("Width = %v", w)
+	}
+	if f := c.FreqMHz(); f < 2606 || f > 2608 {
+		t.Errorf("Freq = %v", f)
+	}
+	if !c.Is5G() {
+		t.Error("Is5G")
+	}
+	lte := &Cell{Ref: MustRef("380@5815"), RAT: band.RATLTE}
+	if lte.Band() != "17" || lte.Is5G() {
+		t.Errorf("LTE cell: band=%q is5G=%v", lte.Band(), lte.Is5G())
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	g := NewGroup(band.RATNR, MustRef("393@521310"))
+	if !g.AddSCell(MustRef("273@387410")) {
+		t.Error("first add should succeed")
+	}
+	if g.AddSCell(MustRef("273@387410")) {
+		t.Error("duplicate add should be a no-op")
+	}
+	if g.AddSCell(g.Primary) {
+		t.Error("adding the primary as SCell should be rejected")
+	}
+	if !g.Contains(MustRef("273@387410")) || !g.Contains(g.Primary) {
+		t.Error("Contains failed")
+	}
+	if got := len(g.Cells()); got != 2 {
+		t.Errorf("Cells len = %d", got)
+	}
+	if !g.RemoveSCell(MustRef("273@387410")) {
+		t.Error("remove should succeed")
+	}
+	if g.RemoveSCell(MustRef("273@387410")) {
+		t.Error("second remove should fail")
+	}
+}
+
+func TestGroupClone(t *testing.T) {
+	g := NewGroup(band.RATNR, MustRef("393@521310"))
+	g.AddSCell(MustRef("273@387410"))
+	cp := g.Clone()
+	cp.AddSCell(MustRef("273@398410"))
+	if len(g.SCells) != 1 {
+		t.Error("Clone aliases SCells")
+	}
+	var nilg *Group
+	if nilg.Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestGroupKeyOrderInsensitive(t *testing.T) {
+	a := NewGroup(band.RATNR, MustRef("393@521310"))
+	a.AddSCell(MustRef("273@387410"))
+	a.AddSCell(MustRef("273@398410"))
+	b := NewGroup(band.RATNR, MustRef("393@521310"))
+	b.AddSCell(MustRef("273@398410"))
+	b.AddSCell(MustRef("273@387410"))
+	if a.key() != b.key() {
+		t.Errorf("keys differ: %q vs %q", a.key(), b.key())
+	}
+}
+
+func TestSetStates(t *testing.T) {
+	idle := Idle()
+	if !idle.IsIdle() || idle.State() != StateIdle || idle.Uses5G() {
+		t.Errorf("idle set wrong: %v", idle)
+	}
+	sa := Set{MCG: NewGroup(band.RATNR, MustRef("393@521310"))}
+	if sa.State() != State5GSA || !sa.Uses5G() {
+		t.Errorf("SA set wrong: %v", sa)
+	}
+	nsa := Set{
+		MCG: NewGroup(band.RATLTE, MustRef("380@5145")),
+		SCG: NewGroup(band.RATNR, MustRef("53@632736")),
+	}
+	if nsa.State() != State5GNSA || !nsa.Uses5G() {
+		t.Errorf("NSA set wrong: %v", nsa)
+	}
+	lteOnly := Set{MCG: NewGroup(band.RATLTE, MustRef("380@5815"))}
+	if lteOnly.State() != State4GOnly || lteOnly.Uses5G() {
+		t.Errorf("4G-only set wrong: %v", lteOnly)
+	}
+}
+
+func TestSetKeyAndEqual(t *testing.T) {
+	a := Set{MCG: NewGroup(band.RATNR, MustRef("393@521310"))}
+	a.MCG.AddSCell(MustRef("273@387410"))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should be Equal")
+	}
+	b.MCG.AddSCell(MustRef("273@398410"))
+	if a.Equal(b) {
+		t.Error("differing sets compare Equal")
+	}
+	if a.Key() == Idle().Key() {
+		t.Error("connected and idle share a key")
+	}
+}
+
+func TestSetCellsAndContains(t *testing.T) {
+	s := Set{
+		MCG: NewGroup(band.RATLTE, MustRef("380@5145")),
+		SCG: NewGroup(band.RATNR, MustRef("53@632736")),
+	}
+	s.SCG.AddSCell(MustRef("53@658080"))
+	if got := len(s.Cells()); got != 3 {
+		t.Errorf("Cells = %d", got)
+	}
+	if !s.Contains(MustRef("53@658080")) || s.Contains(MustRef("1@2")) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if Idle().String() != "IDLE" {
+		t.Errorf("idle String = %q", Idle())
+	}
+	s := Set{MCG: NewGroup(band.RATNR, MustRef("393@521310"))}
+	s.MCG.AddSCell(MustRef("273@387410"))
+	s.MCG.AddSCell(MustRef("273@398410"))
+	s.MCG.AddSCell(MustRef("393@501390"))
+	want := "5G SA {PCell 393@521310 +3 SCells}"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+	nsa := Set{
+		MCG: NewGroup(band.RATLTE, MustRef("380@5145")),
+		SCG: NewGroup(band.RATNR, MustRef("53@632736")),
+	}
+	if got := nsa.String(); got != "5G NSA {PCell 380@5145; PSCell 53@632736}" {
+		t.Errorf("NSA String = %q", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateIdle: "IDLE", State5GSA: "5G SA", State5GNSA: "5G NSA", State4GOnly: "4G only",
+	} {
+		if s.String() != want {
+			t.Errorf("State %d = %q, want %q", s, s, want)
+		}
+	}
+	if State(99).String() != "State(99)" {
+		t.Error("unknown state string")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := Set{MCG: NewGroup(band.RATNR, MustRef("393@521310"))}
+	cp := s.Clone()
+	cp.MCG.AddSCell(MustRef("273@387410"))
+	if len(s.MCG.SCells) != 0 {
+		t.Error("Clone aliases MCG")
+	}
+}
+
+func TestNCIPacking(t *testing.T) {
+	n := MakeNCI(0xABCDEF, 0x123)
+	if n.GNB() != 0xABCDEF || n.CellID() != 0x123 {
+		t.Errorf("NCI round trip: gnb=%x cell=%x", n.GNB(), n.CellID())
+	}
+	// Overflowing inputs are masked to their field widths.
+	m := MakeNCI(0xFFFFFFFF, 0xFFFF)
+	if m.GNB() != 0xFFFFFF || m.CellID() != 0xFFF {
+		t.Errorf("masking: gnb=%x cell=%x", m.GNB(), m.CellID())
+	}
+}
+
+func TestCGIPacking(t *testing.T) {
+	nci := MakeNCI(12345, 678)
+	cgi := CGI(PLMNTMobileUS, nci)
+	plmn, back := SplitCGI(cgi)
+	if plmn != PLMNTMobileUS || back != nci {
+		t.Errorf("CGI round trip: plmn=%d nci=%x", plmn, back)
+	}
+	// The printed value lands in the same magnitude as the appendix's
+	// 85575131757084985 (a 17-digit decimal).
+	if cgi < 1e16 || cgi > 1e18 {
+		t.Errorf("CGI magnitude off: %d", cgi)
+	}
+}
+
+func TestDeriveCGIStable(t *testing.T) {
+	r := MustRef("393@521310")
+	if DeriveCGI(r) != DeriveCGI(r) {
+		t.Error("derivation must be deterministic")
+	}
+	if DeriveCGI(r) == DeriveCGI(MustRef("393@501390")) {
+		t.Error("different channels must derive different CGIs")
+	}
+	if DeriveNCI(r).CellID() != 393 {
+		t.Errorf("cell ID should carry the PCI: %d", DeriveNCI(r).CellID())
+	}
+}

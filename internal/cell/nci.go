@@ -1,0 +1,57 @@
+package cell
+
+// NR Cell Identity handling (TS 38.413): the 36-bit NCI concatenates a
+// gNB identifier with a cell identifier; prefixed with the PLMN it
+// forms the NR Cell Global Identity that NSG prints as a long decimal
+// ("NR Cell Global ID = 85575131757084985" in the paper's Appendix B).
+// The analysis keys on PCI@channel, but the capture format carries the
+// CGI for fidelity, and a CGI of 0 marks a cell that is seen but not
+// used (Fig. 24).
+
+// NCI is a 36-bit NR Cell Identity: 24 bits of gNB ID and 12 bits of
+// cell ID (one of several 3GPP-permitted splits).
+type NCI uint64
+
+// nciBits is the total NCI width per TS 38.413.
+const (
+	nciBits    = 36
+	cellIDBits = 12
+)
+
+// MakeNCI packs a gNB identifier and a local cell identifier.
+func MakeNCI(gnbID uint32, cellID uint16) NCI {
+	return NCI(uint64(gnbID&0xffffff)<<cellIDBits | uint64(cellID&0xfff))
+}
+
+// GNB returns the 24-bit gNB identifier.
+func (n NCI) GNB() uint32 { return uint32(n>>cellIDBits) & 0xffffff }
+
+// CellID returns the 12-bit local cell identifier.
+func (n NCI) CellID() uint16 { return uint16(n & 0xfff) }
+
+// PLMNTMobileUS is the packed MCC-MNC of the study's SA operator
+// (310-260), used when synthesizing CGIs.
+const PLMNTMobileUS uint32 = 310260
+
+// CGI combines a packed PLMN with an NCI into the single decimal value
+// the capture format prints.
+func CGI(plmn uint32, nci NCI) uint64 {
+	return uint64(plmn)<<nciBits | uint64(nci)
+}
+
+// SplitCGI inverts CGI.
+func SplitCGI(cgi uint64) (plmn uint32, nci NCI) {
+	return uint32(cgi >> nciBits), NCI(cgi & (1<<nciBits - 1))
+}
+
+// DeriveNCI synthesizes a stable, plausible NCI for a deployed cell:
+// the gNB identifier folds the channel (cells of one tower share the
+// site-level bits in real deployments; here the channel and PCI group
+// stand in), the cell identifier is the PCI.
+func DeriveNCI(r Ref) NCI {
+	h := uint32(r.Channel)*2654435761 + uint32(r.PCI)*40503
+	return MakeNCI(h&0xffffff, uint16(r.PCI))
+}
+
+// DeriveCGI synthesizes the full printed CGI for a deployed NR cell.
+func DeriveCGI(r Ref) uint64 { return CGI(PLMNTMobileUS, DeriveNCI(r)) }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mssn/loopscope/internal/stats"
+)
+
+// This file implements the §6 loop-probability model. For a location,
+// every plausible cellset combination i contributes
+//
+//	uᵢ = f1(Δᵖᵢ) = 1 / (1 + e^(−k·Δᵖᵢ))          (usage of the combination)
+//	pᵢ = f2(Δᵢ)  = max(1 − Δᵢ/t, 0)ⁿ              (loop probability given use)
+//	P  = Σᵢ uᵢ·pᵢ                                  (overall loop probability)
+//
+// where Δᵖᵢ is the RSRP gap between the combination's target PCell and
+// the best other candidate PCell (F17), and Δᵢ is either the RSRP gap
+// between the target co-channel SCells (S1E3, F16) or the worst serving
+// SCell's RSRP margin (S1E1/S1E2 extension). k, t and n are learned by
+// MSE minimization against measured loop probabilities.
+
+// FeatureKind selects which radio feature drives f2.
+type FeatureKind uint8
+
+// The two features the paper uses.
+const (
+	// FeatureSCellGap: |RSRP(SCell A) − RSRP(SCell B)| of the two
+	// co-channel target SCells (S1E3).
+	FeatureSCellGap FeatureKind = iota
+	// FeatureWorstRSRP: margin of the worst target SCell above the
+	// measurability floor (S1E1/S1E2): weaker cell ⇒ smaller margin ⇒
+	// higher loop probability.
+	FeatureWorstRSRP
+)
+
+// String names the feature.
+func (f FeatureKind) String() string {
+	if f == FeatureWorstRSRP {
+		return "worst-scell-rsrp"
+	}
+	return "scell-gap"
+}
+
+// WorstRSRPFloorDBm anchors the FeatureWorstRSRP margin; −130 dBm is
+// comfortably below the measurability floor so margins stay positive.
+const WorstRSRPFloorDBm = -130.0
+
+// Combo describes one cellset combination at a location by the features
+// the model needs.
+type Combo struct {
+	// PCellGapDB is RSRP(target PCell) − RSRP(best other candidate).
+	PCellGapDB float64
+	// SCellGapDB is |RSRP gap| between the two co-channel target SCells.
+	SCellGapDB float64
+	// WorstSCellRSRPDBm is the median RSRP of the weakest target SCell.
+	WorstSCellRSRPDBm float64
+}
+
+// Sample is one training observation: the combinations present at a
+// location and the measured loop probability there.
+type Sample struct {
+	Combos []Combo
+	Truth  float64
+}
+
+// Model is a fitted §6 predictor.
+type Model struct {
+	K       float64 // usage-logistic steepness
+	T       float64 // f2 cutoff (dB)
+	N       float64 // f2 shape exponent
+	Feature FeatureKind
+}
+
+// featureValue extracts the f2 feature of a combination.
+func (m *Model) featureValue(c Combo) float64 {
+	if m.Feature == FeatureWorstRSRP {
+		v := c.WorstSCellRSRPDBm - WorstRSRPFloorDBm
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return math.Abs(c.SCellGapDB)
+}
+
+// Usage is f1: the probability this combination is the one in use.
+func (m *Model) Usage(c Combo) float64 {
+	return 1 / (1 + math.Exp(-m.K*c.PCellGapDB))
+}
+
+// CondLoopProb is f2: the loop probability given the combination is used.
+func (m *Model) CondLoopProb(c Combo) float64 {
+	d := m.featureValue(c)
+	base := 1 - d/m.T
+	if base <= 0 {
+		return 0
+	}
+	return math.Pow(base, m.N)
+}
+
+// Predict returns the overall loop probability P = Σ uᵢpᵢ at a location,
+// clamped to [0, 1].
+func (m *Model) Predict(combos []Combo) float64 {
+	var p float64
+	for _, c := range combos {
+		p += m.Usage(c) * m.CondLoopProb(c)
+	}
+	return math.Max(0, math.Min(1, p))
+}
+
+// mse evaluates the model against training samples.
+func (m *Model) mse(samples []Sample) float64 {
+	pred := make([]float64, len(samples))
+	truth := make([]float64, len(samples))
+	for i, s := range samples {
+		pred[i] = m.Predict(s.Combos)
+		truth[i] = s.Truth
+	}
+	return stats.MSE(pred, truth)
+}
+
+// String summarizes the fitted parameters.
+func (m *Model) String() string {
+	return fmt.Sprintf("Model{k=%.3f t=%.2f n=%.2f feature=%s}", m.K, m.T, m.N, m.Feature)
+}
+
+// Fit learns (k, t, n) by minimizing MSE over the samples: a coarse
+// deterministic grid search followed by coordinate descent with
+// shrinking step sizes. It never fails; with no samples it returns the
+// grid's central model.
+func Fit(samples []Sample, feature FeatureKind) *Model {
+	best := &Model{K: 0.5, T: 10, N: 2, Feature: feature}
+	if len(samples) == 0 {
+		return best
+	}
+	bestErr := best.mse(samples)
+	tMax := 30.0
+	if feature == FeatureWorstRSRP {
+		tMax = 80 // margins span tens of dB above the floor
+	}
+	// Coarse grid.
+	for k := 0.1; k <= 2.0; k += 0.19 {
+		for t := 2.0; t <= tMax; t += tMax / 12 {
+			for n := 0.5; n <= 6; n += 0.5 {
+				m := &Model{K: k, T: t, N: n, Feature: feature}
+				if err := m.mse(samples); err < bestErr {
+					bestErr, best = err, m
+				}
+			}
+		}
+	}
+	// Coordinate descent refinement.
+	steps := []float64{0.5, 0.2, 0.05, 0.01}
+	for _, frac := range steps {
+		improved := true
+		for iter := 0; improved && iter < 50; iter++ {
+			improved = false
+			for dim := 0; dim < 3; dim++ {
+				for _, dir := range []float64{1, -1} {
+					cand := *best
+					switch dim {
+					case 0:
+						cand.K += dir * frac * 0.5
+					case 1:
+						cand.T += dir * frac * tMax / 10
+					case 2:
+						cand.N += dir * frac * 2
+					}
+					if cand.K <= 0 || cand.T <= 0.1 || cand.N <= 0.1 {
+						continue
+					}
+					if err := cand.mse(samples); err < bestErr {
+						bestErr = err
+						*best = cand
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// CombineIndependent aggregates per-sub-type loop probabilities into an
+// overall probability assuming independent triggers:
+// P = 1 − Π(1 − pᵢ). The §6 extension computes S1 = S1E1 ⊕ S1E2 ⊕ S1E3
+// this way.
+func CombineIndependent(ps ...float64) float64 {
+	q := 1.0
+	for _, p := range ps {
+		p = math.Max(0, math.Min(1, p))
+		q *= 1 - p
+	}
+	return 1 - q
+}
+
+// EvalResult summarizes prediction accuracy against ground truth the way
+// Fig. 22 reports it.
+type EvalResult struct {
+	MSE      float64
+	Within10 float64 // fraction of locations with |err| ≤ 0.10
+	Within25 float64 // fraction with |err| ≤ 0.25
+	Within30 float64 // fraction with |err| ≤ 0.30
+	Spearman float64 // rank correlation between prediction and truth
+	Pred     []float64
+	Truth    []float64
+}
+
+// Evaluate applies the model to samples and scores it.
+func (m *Model) Evaluate(samples []Sample) EvalResult {
+	pred := make([]float64, len(samples))
+	truth := make([]float64, len(samples))
+	for i, s := range samples {
+		pred[i] = m.Predict(s.Combos)
+		truth[i] = s.Truth
+	}
+	return EvalResult{
+		MSE:      stats.MSE(pred, truth),
+		Within10: stats.FractionWithin(pred, truth, 0.10),
+		Within25: stats.FractionWithin(pred, truth, 0.25),
+		Within30: stats.FractionWithin(pred, truth, 0.30),
+		Spearman: stats.Spearman(pred, truth),
+		Pred:     pred,
+		Truth:    truth,
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/sig"
+	"github.com/mssn/loopscope/internal/trace"
+)
+
+// Property-based tests over the detection and metric invariants, using
+// randomly generated (but structurally valid) signaling logs.
+
+// randomSALog generates a log with nCycles establish/fail cycles, a
+// random prefix of stable activity, and optionally a divergent tail.
+func randomSALog(rng *rand.Rand, nCycles int, tail bool) *sig.Log {
+	l := &sig.Log{}
+	base := 0
+	pci := 100 + rng.Intn(500)
+	pcell := cell.Ref{PCI: pci, Channel: 521310}
+	scell := cell.Ref{PCI: pci, Channel: 387410}
+	cand := cell.Ref{PCI: pci + 97, Channel: 387410}
+	// Optional stable prefix on a different PCell.
+	if rng.Intn(2) == 0 {
+		other := cell.Ref{PCI: pci + 7, Channel: 501390}
+		l.Append(at(base+100), rrc.SetupComplete{Rat: band.RATNR, Cell: other})
+		l.Append(at(base+5000), rrc.Release{Rat: band.RATNR})
+		base += 8000
+	}
+	for i := 0; i < nCycles; i++ {
+		l.Append(at(base+100), rrc.SetupComplete{Rat: band.RATNR, Cell: pcell})
+		l.Append(at(base+3000), rrc.Reconfig{Rat: band.RATNR, Serving: pcell,
+			AddSCells: []rrc.SCellEntry{{Index: 1, Cell: scell}}})
+		l.Append(at(base+3010), rrc.ReconfigComplete{Rat: band.RATNR})
+		l.Append(at(base+5000+rng.Intn(50)), rrc.Reconfig{Rat: band.RATNR, Serving: pcell,
+			AddSCells:     []rrc.SCellEntry{{Index: 2, Cell: cand}},
+			ReleaseSCells: []int{1}})
+		l.Append(at(base+5060), rrc.ReconfigComplete{Rat: band.RATNR})
+		l.Append(at(base+5100), rrc.Exception{MMState: "DEREGISTERED", Substate: "NO_CELL_AVAILABLE"})
+		base += 16000
+	}
+	if tail {
+		other := cell.Ref{PCI: pci + 11, Channel: 126270}
+		l.Append(at(base+100), rrc.SetupComplete{Rat: band.RATNR, Cell: other})
+		l.Append(at(base+30000), rrc.MeasReport{Rat: band.RATNR})
+		base += 31000
+	}
+	return l
+}
+
+// TestDetectionInvariants checks, over random logs:
+//   - ≥2 cycles are always detected, single swings never;
+//   - a loop's End never exceeds the step count;
+//   - cycles' On+Off durations sum to the cycle window;
+//   - a divergent tail demotes the loop to semi-persistent.
+func TestDetectionInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, tail bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%5) + 1 // 1..5 cycles
+		tl := trace.Extract(randomSALog(rng, n, tail))
+		loop, found := Detect(tl)
+		if n == 1 {
+			return !found
+		}
+		if !found {
+			return false
+		}
+		if loop.End > len(tl.Steps) || loop.Start < 0 || loop.CycleLen < 2 {
+			return false
+		}
+		if loop.Reps < MinReps {
+			return false
+		}
+		// Cycle accounting: each full cycle's On+Off equals its window.
+		for r := 0; r < loop.Reps; r++ {
+			startIdx := loop.Start + r*loop.CycleLen
+			endIdx := loop.Start + (r+1)*loop.CycleLen
+			start := tl.Steps[startIdx].At
+			var end time.Duration
+			if endIdx < len(tl.Steps) {
+				end = tl.Steps[endIdx].At
+			} else {
+				end = tl.Duration
+			}
+			cm := loop.Cycles()[r]
+			if cm.On+cm.Off != end-start {
+				return false
+			}
+			if cm.On < 0 || cm.Off < 0 {
+				return false
+			}
+		}
+		// Form matches the tail.
+		if tail && loop.Form != FormSemiPersistent {
+			return false
+		}
+		if !tail && loop.Form != FormPersistent {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassificationTotal checks every detected loop classifies to one
+// of the seven sub-types over random logs (never SubtypeUnknown for
+// structurally complete cycles).
+func TestClassificationTotal(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%4) + 2
+		tl := trace.Extract(randomSALog(rng, n, false))
+		loop, found := Detect(tl)
+		if !found {
+			return false
+		}
+		sub := Classify(loop)
+		return sub == S1E3 // these generated logs are all modification failures
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOffRatioBounds: the OFF ratio of any cycle lies in [0, 1].
+func TestOffRatioBounds(t *testing.T) {
+	f := func(on, off uint16) bool {
+		cm := CycleMetrics{On: time.Duration(on) * time.Millisecond, Off: time.Duration(off) * time.Millisecond}
+		r := cm.OffRatio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if (CycleMetrics{}).OffRatio() != 0 {
+		t.Error("zero cycle ratio should be 0")
+	}
+}
+
+// TestDetectAllNonOverlapping: loops returned by DetectAll never
+// overlap and appear in order.
+func TestDetectAllNonOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Two distinct loops separated by a divergent segment.
+	l := randomSALog(rng, 3, true)
+	base := int(l.Duration()/time.Millisecond) + 2000
+	pcell := cell.Ref{PCI: 777, Channel: 521310}
+	for i := 0; i < 2; i++ {
+		l.Append(at(base+100), rrc.SetupComplete{Rat: band.RATNR, Cell: pcell})
+		l.Append(at(base+4000), rrc.Release{Rat: band.RATNR})
+		base += 12000
+	}
+	tl := trace.Extract(l)
+	loops := DetectAll(tl)
+	prevEnd := 0
+	for _, lp := range loops {
+		if lp.Start < prevEnd {
+			t.Fatalf("overlapping loops: start %d < prev end %d", lp.Start, prevEnd)
+		}
+		prevEnd = lp.End
+	}
+}
+
+// TestDetectStableUnderPrefix: prepending unrelated stable activity
+// must not change the detected cycle's keys.
+func TestDetectStableUnderPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bare := randomSALog(rng, 3, false)
+	tlBare := trace.Extract(bare)
+	loopBare, ok := Detect(tlBare)
+	if !ok {
+		t.Fatal("bare log must loop")
+	}
+	// The generator's random prefix flag exercises this, but assert it
+	// directly with a forced prefix.
+	withPrefix := &sig.Log{}
+	other := cell.Ref{PCI: 999, Channel: 501390}
+	withPrefix.Append(at(100), rrc.SetupComplete{Rat: band.RATNR, Cell: other})
+	withPrefix.Append(at(4000), rrc.Release{Rat: band.RATNR})
+	for _, e := range bare.Events {
+		withPrefix.Append(e.At+6*time.Second, e.Msg)
+	}
+	loopPref, ok := Detect(trace.Extract(withPrefix))
+	if !ok {
+		t.Fatal("prefixed log must loop")
+	}
+	a, b := loopBare.CycleKeys(), loopPref.CycleKeys()
+	if len(a) != len(b) {
+		t.Fatalf("cycle lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cycle key %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package device holds the capability profiles of the six phone models
+// of Table 4 and the capability differences §4.4 uses to explain why 5G
+// SA loops appear only on the OnePlus 12R: early models lack NR carrier
+// aggregation, the 13R pairs only with 4x4-MIMO cells and runs a newer
+// RRC release, and the Samsung S23 anchors on a different band.
+package device
+
+// Profile describes one phone model's 5G behaviour.
+type Profile struct {
+	Name    string
+	Release string // market release (paper Table 4)
+	Chipset string
+	Android string
+	RRCSpec string // 3GPP RRC release implemented ("V16.6.0", ...)
+
+	// SupportsNRCA reports NR carrier aggregation over 5G SA. Early
+	// models (OnePlus 10 Pro, Pixel 5) support SA but use a single
+	// PCell only.
+	SupportsNRCA bool
+	// MaxNRSCells caps SA secondary cells when NR CA is supported.
+	MaxNRSCells int
+	// MinMIMOLayers is the smallest cell MIMO configuration the model
+	// accepts as a serving cell: the 13R pairs only with 4x4 cells
+	// (value 4), which keeps it off the 2x2 "problematic" n25 cells.
+	MinMIMOLayers int
+	// PreferredNRBand, when set, overrides PCell ranking: the Samsung
+	// S23 anchors on n71 at the study locations.
+	PreferredNRBand string
+	// LTEOnlyOnOPA reproduces the OnePlus 10 Pro quirk of using 4G only
+	// on AT&T (F5's exception, reported by AT&T users).
+	LTEOnlyOnOPA bool
+	// NSGSupported reports whether Network Signal Guru can capture RRC
+	// signaling on this model (OnePlus 13 and S23 are unsupported).
+	NSGSupported bool
+}
+
+// OnePlus12R is the study's primary test phone.
+func OnePlus12R() *Profile {
+	return &Profile{
+		Name: "OnePlus 12R", Release: "Feb 2024",
+		Chipset: "SM8550-AB Snapdragon 8 Gen 2", Android: "Android 14", RRCSpec: "V16.6.0",
+		SupportsNRCA: true, MaxNRSCells: 3, MinMIMOLayers: 2,
+		NSGSupported: true,
+	}
+}
+
+// OnePlus13R runs a newer RRC release and pairs only with 4x4 cells.
+func OnePlus13R() *Profile {
+	return &Profile{
+		Name: "OnePlus 13R", Release: "Jan 2025",
+		Chipset: "SM8650-AB Snapdragon 8 Gen 3", Android: "Android 15", RRCSpec: "V17.4.0",
+		SupportsNRCA: true, MaxNRSCells: 1, MinMIMOLayers: 4,
+		NSGSupported: true,
+	}
+}
+
+// OnePlus13 is not NSG-supported; its serving cells differ from the 12R.
+func OnePlus13() *Profile {
+	return &Profile{
+		Name: "OnePlus 13", Release: "Oct 2024",
+		Chipset: "SM8750-AB Snapdragon 8 Elite", Android: "Android 15", RRCSpec: "V17.4.0",
+		SupportsNRCA: true, MaxNRSCells: 1, MinMIMOLayers: 4,
+		NSGSupported: false,
+	}
+}
+
+// OnePlus10Pro supports SA but not NR carrier aggregation, and falls
+// back to 4G-only on OPA.
+func OnePlus10Pro() *Profile {
+	return &Profile{
+		Name: "OnePlus 10 Pro", Release: "Jan 2022",
+		Chipset: "SM8450 Snapdragon 8 Gen 1", Android: "Android 12", RRCSpec: "V16.3.1",
+		SupportsNRCA: false, MaxNRSCells: 0, MinMIMOLayers: 2,
+		LTEOnlyOnOPA: true,
+		NSGSupported: true,
+	}
+}
+
+// SamsungS23 anchors on band n71 at the study locations.
+func SamsungS23() *Profile {
+	return &Profile{
+		Name: "Samsung S23", Release: "Feb 2023",
+		Chipset: "SM8550-AC Snapdragon 8 Gen 2", Android: "Android 15", RRCSpec: "",
+		SupportsNRCA: true, MaxNRSCells: 1, MinMIMOLayers: 2,
+		PreferredNRBand: "n71",
+		NSGSupported:    false,
+	}
+}
+
+// Pixel5 is an early 5G model without NR carrier aggregation.
+func Pixel5() *Profile {
+	return &Profile{
+		Name: "Google Pixel 5", Release: "Sep 2020",
+		Chipset: "SM7250 Snapdragon 765G", Android: "Android 11", RRCSpec: "V15.9.0",
+		SupportsNRCA: false, MaxNRSCells: 0, MinMIMOLayers: 2,
+		NSGSupported: true,
+	}
+}
+
+// All returns the six test models in Table 4's order.
+func All() []*Profile {
+	return []*Profile{
+		OnePlus13R(), OnePlus13(), OnePlus12R(), OnePlus10Pro(), SamsungS23(), Pixel5(),
+	}
+}
+
+// ByName returns a model by its Table 4 name, or nil.
+func ByName(name string) *Profile {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package device
+
+import "testing"
+
+func TestTable4Inventory(t *testing.T) {
+	devs := All()
+	if len(devs) != 6 {
+		t.Fatalf("devices = %d, want 6 (Table 4)", len(devs))
+	}
+	for _, d := range devs {
+		if d.Name == "" || d.Release == "" || d.Chipset == "" || d.Android == "" {
+			t.Errorf("%q: incomplete Table 4 fields: %+v", d.Name, d)
+		}
+		if d.SupportsNRCA && d.MaxNRSCells == 0 {
+			t.Errorf("%s: CA support with zero SCell budget", d.Name)
+		}
+		if !d.SupportsNRCA && d.MaxNRSCells != 0 {
+			t.Errorf("%s: SCell budget without CA support", d.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("OnePlus 12R") == nil {
+		t.Error("12R missing")
+	}
+	if ByName("iPhone") != nil {
+		t.Error("unknown model should not resolve")
+	}
+}
+
+func TestCapabilityStory(t *testing.T) {
+	// §4.4's three explanations for SA device dependence.
+	p12r := OnePlus12R()
+	if !p12r.SupportsNRCA || p12r.MaxNRSCells != 3 || p12r.MinMIMOLayers != 2 {
+		t.Errorf("12R profile: %+v", p12r)
+	}
+	// (1) early models use one 5G PCell only.
+	for _, d := range []*Profile{OnePlus10Pro(), Pixel5()} {
+		if d.SupportsNRCA {
+			t.Errorf("%s should not support NR CA", d.Name)
+		}
+	}
+	// (2) the 13-series pairs only with 4x4 cells and runs V17.4.0.
+	for _, d := range []*Profile{OnePlus13R(), OnePlus13()} {
+		if d.MinMIMOLayers != 4 {
+			t.Errorf("%s should require 4x4 cells", d.Name)
+		}
+		if d.RRCSpec != "V17.4.0" {
+			t.Errorf("%s RRC release = %q", d.Name, d.RRCSpec)
+		}
+	}
+	if OnePlus12R().RRCSpec != "V16.6.0" {
+		t.Error("12R runs V16.6.0")
+	}
+	// (3) the S23 anchors on n71.
+	if SamsungS23().PreferredNRBand != "n71" {
+		t.Error("S23 should prefer n71")
+	}
+	// The AT&T 4G-only quirk is unique to the 10 Pro.
+	for _, d := range All() {
+		want := d.Name == "OnePlus 10 Pro"
+		if d.LTEOnlyOnOPA != want {
+			t.Errorf("%s LTEOnlyOnOPA = %v", d.Name, d.LTEOnlyOnOPA)
+		}
+	}
+}
+
+func TestNSGSupport(t *testing.T) {
+	// §4.4: NSG cannot capture on the OnePlus 13 and Samsung S23.
+	unsupported := map[string]bool{"OnePlus 13": true, "Samsung S23": true}
+	for _, d := range All() {
+		if d.NSGSupported == unsupported[d.Name] {
+			t.Errorf("%s NSGSupported = %v", d.Name, d.NSGSupported)
+		}
+	}
+}

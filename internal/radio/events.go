@@ -1,0 +1,136 @@
+package radio
+
+import "fmt"
+
+// Quantity selects which measurement quantity an event compares,
+// matching the reportConfig triggerQuantity of TS 36.331 / TS 38.331.
+type Quantity uint8
+
+// The two trigger quantities used in the study.
+const (
+	QuantityRSRP Quantity = iota
+	QuantityRSRQ
+)
+
+// String names the quantity.
+func (q Quantity) String() string {
+	if q == QuantityRSRQ {
+		return "RSRQ"
+	}
+	return "RSRP"
+}
+
+// value extracts the configured quantity from a measurement.
+func (q Quantity) value(m Measurement) float64 {
+	if q == QuantityRSRQ {
+		return m.RSRQDB
+	}
+	return m.RSRPDBm
+}
+
+// EventKind enumerates the measurement-reporting events that appear in
+// the paper's loop instances (TS 36.331 §5.5.4 / TS 38.331 §5.5.4).
+type EventKind uint8
+
+// Measurement events referenced in the paper:
+//
+//	A2: serving becomes worse than a threshold (release/poor-coverage trigger)
+//	A3: neighbour becomes offset better than serving (handover / SCell-mod trigger)
+//	A5: serving worse than threshold1 and neighbour better than threshold2
+//	B1: inter-RAT neighbour becomes better than a threshold (5G SCG addition trigger)
+const (
+	EventA2 EventKind = iota
+	EventA3
+	EventA5
+	EventB1
+)
+
+// String names the event ("A2", "A3", ...).
+func (k EventKind) String() string {
+	switch k {
+	case EventA2:
+		return "A2"
+	case EventA3:
+		return "A3"
+	case EventA5:
+		return "A5"
+	case EventB1:
+		return "B1"
+	default:
+		return fmt.Sprintf("Event(%d)", uint8(k))
+	}
+}
+
+// EventConfig is one configured reporting event. Thresholds are in the
+// unit of the quantity (dBm for RSRP, dB for RSRQ); Offset and
+// Hysteresis are in dB.
+type EventConfig struct {
+	Kind       EventKind
+	Quantity   Quantity
+	Threshold  float64 // A2/B1: the threshold; A5: threshold1 (serving)
+	Threshold2 float64 // A5 only: threshold2 (neighbour)
+	Offset     float64 // A3 only: the a3-Offset
+	Hysteresis float64 // entering-condition hysteresis (Hys)
+}
+
+// A2 builds an A2 config ("serving worse than threshold").
+func A2(q Quantity, threshold float64) EventConfig {
+	return EventConfig{Kind: EventA2, Quantity: q, Threshold: threshold}
+}
+
+// A3 builds an A3 config ("neighbour offset better than serving").
+func A3(q Quantity, offset float64) EventConfig {
+	return EventConfig{Kind: EventA3, Quantity: q, Offset: offset}
+}
+
+// A5 builds an A5 config ("serving < t1 and neighbour > t2").
+func A5(q Quantity, t1, t2 float64) EventConfig {
+	return EventConfig{Kind: EventA5, Quantity: q, Threshold: t1, Threshold2: t2}
+}
+
+// B1 builds a B1 config ("inter-RAT neighbour better than threshold").
+func B1(q Quantity, threshold float64) EventConfig {
+	return EventConfig{Kind: EventB1, Quantity: q, Threshold: threshold}
+}
+
+// Entered evaluates the entering condition of the event given the
+// serving-cell and neighbour-cell measurements. Events that do not use
+// one of the sides ignore that argument (A2 ignores neighbour; B1
+// ignores serving).
+func (e EventConfig) Entered(serving, neighbour Measurement) bool {
+	ms := e.Quantity.value(serving)
+	mn := e.Quantity.value(neighbour)
+	switch e.Kind {
+	case EventA2:
+		return ms+e.Hysteresis < e.Threshold
+	case EventA3:
+		return mn-e.Hysteresis > ms+e.Offset
+	case EventA5:
+		return ms+e.Hysteresis < e.Threshold && mn-e.Hysteresis > e.Threshold2
+	case EventB1:
+		return mn-e.Hysteresis > e.Threshold
+	default:
+		return false
+	}
+}
+
+// String renders the config the way the paper's appendix prints it,
+// e.g. "A2 RSRP < -156dBm" or "A3 RSRQ offset > 6dB".
+func (e EventConfig) String() string {
+	unit := "dBm"
+	if e.Quantity == QuantityRSRQ {
+		unit = "dB"
+	}
+	switch e.Kind {
+	case EventA2:
+		return fmt.Sprintf("A2 %s < %g%s", e.Quantity, e.Threshold, unit)
+	case EventA3:
+		return fmt.Sprintf("A3 %s offset > %gdB", e.Quantity, e.Offset)
+	case EventA5:
+		return fmt.Sprintf("A5 %s < %g%s and > %g%s", e.Quantity, e.Threshold, unit, e.Threshold2, unit)
+	case EventB1:
+		return fmt.Sprintf("B1 %s > %g%s", e.Quantity, e.Threshold, unit)
+	default:
+		return "Event(?)"
+	}
+}

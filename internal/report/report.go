@@ -1,0 +1,109 @@
+// Package report renders a complete measurement-study report as
+// markdown: every regenerated table and figure with its output lines,
+// plus a summary header with the study's scale and headline metrics.
+// cmd/campaign -report writes it to disk; it is the machine-generated
+// counterpart of the repository's hand-written EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/mssn/loopscope/internal/campaign"
+	"github.com/mssn/loopscope/internal/core"
+	"github.com/mssn/loopscope/internal/experiments"
+)
+
+// Options configures report generation.
+type Options struct {
+	// Study options forwarded to the experiment context.
+	Campaign campaign.Options
+	// IDs restricts the experiments to include (nil = all).
+	IDs []string
+	// Title overrides the default document title.
+	Title string
+}
+
+// Write renders the full report to w.
+func Write(w io.Writer, opts Options) error {
+	ctx := experiments.NewContext(opts.Campaign)
+	title := opts.Title
+	if title == "" {
+		title = "5G ON-OFF loop study — generated report"
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n\n", title); err != nil {
+		return err
+	}
+	if err := writeSummary(w, ctx); err != nil {
+		return err
+	}
+
+	gens := experiments.All()
+	if opts.IDs != nil {
+		var filtered []experiments.Generator
+		for _, id := range opts.IDs {
+			if g, ok := experiments.ByID(id); ok {
+				filtered = append(filtered, g)
+			}
+		}
+		gens = filtered
+	}
+	for _, g := range gens {
+		res := g.Run(ctx)
+		if _, err := fmt.Fprintf(w, "## %s — %s\n\n```\n", res.ID, res.Title); err != nil {
+			return err
+		}
+		for _, line := range res.Lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, "```\n\n"); err != nil {
+			return err
+		}
+		if len(res.Values) > 0 {
+			if _, err := fmt.Fprint(w, "Key metrics:\n\n"); err != nil {
+				return err
+			}
+			keys := make([]string, 0, len(res.Values))
+			for k := range res.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, err := fmt.Fprintf(w, "- `%s` = %.4g\n", k, res.Values[k]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSummary prints the study-scale header.
+func writeSummary(w io.Writer, ctx *experiments.Context) error {
+	st := ctx.Study()
+	var runs, loops int
+	forms := map[core.Form]int{}
+	for _, rec := range st.Records("") {
+		runs++
+		if rec.HasLoop() {
+			loops++
+		}
+		forms[rec.Form()]++
+	}
+	minutes := time.Duration(runs) * st.Opts.Duration / time.Minute
+	_, err := fmt.Fprintf(w, `Seed %d · %d stationary runs of %s across %d areas (%d simulated minutes).
+Loops detected in %d runs (%.1f%%): %d persistent, %d semi-persistent.
+
+`,
+		st.Opts.Seed, runs, st.Opts.Duration, len(st.Areas), minutes,
+		loops, 100*float64(loops)/float64(runs),
+		forms[core.FormPersistent], forms[core.FormSemiPersistent])
+	return err
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mssn/loopscope/internal/campaign"
+)
+
+func TestWriteReport(t *testing.T) {
+	var b strings.Builder
+	opts := Options{
+		Campaign: campaign.Options{Seed: 3, Duration: 120 * time.Second, RunScale: 0.25},
+		IDs:      []string{"table4", "fig13"},
+		Title:    "test report",
+	}
+	if err := Write(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# test report",
+		"stationary runs",
+		"## table4",
+		"## fig13",
+		"OnePlus 12R",
+		"Key metrics:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "## fig22") {
+		t.Error("filtered report should not include fig22")
+	}
+}
+
+func TestWriteReportDefaultTitle(t *testing.T) {
+	var b strings.Builder
+	opts := Options{
+		Campaign: campaign.Options{Seed: 3, Duration: 90 * time.Second, RunScale: 0.2},
+		IDs:      []string{"table4"},
+	}
+	if err := Write(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# 5G ON-OFF loop study") {
+		t.Error("default title missing")
+	}
+}

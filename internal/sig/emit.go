@@ -1,0 +1,149 @@
+package sig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/rrc"
+)
+
+// WriteTo renders the log in the NSG-style text format. One event is a
+// header line ("<ts> <TECH> RRC OTA Packet -- <CH> / <Kind>") followed
+// by indented detail lines. The output round-trips through Parse.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	for _, e := range l.Events {
+		if err := count(fmt.Fprintf(bw, "%s %s", Timestamp(e.At), headerOf(e.Msg))); err != nil {
+			return n, err
+		}
+		if err := count(fmt.Fprintln(bw)); err != nil {
+			return n, err
+		}
+		for _, d := range detailLines(e.Msg) {
+			if err := count(fmt.Fprintf(bw, "  %s\n", d)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// String renders the whole log as text.
+func (l *Log) String() string {
+	var b strings.Builder
+	l.WriteTo(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// headerOf builds the portion of the header line after the timestamp.
+func headerOf(m rrc.Message) string {
+	if _, ok := m.(rrc.Exception); ok {
+		return "SYS -- EXCEPTION"
+	}
+	return fmt.Sprintf("%s RRC OTA Packet -- %s / %s", tech(m), channelOf(m), m.Kind())
+}
+
+// detailLines renders the message-specific indented lines.
+func detailLines(m rrc.Message) []string {
+	switch v := m.(type) {
+	case rrc.MIB:
+		// A broadcast sighting: the CGI prints as 0 until the cell is
+		// used (Fig. 24's "NR Cell Global ID = 0").
+		return []string{nrCellLine(v.Cell, v.Rat, false)}
+	case rrc.SIB1:
+		return []string{
+			nrCellLine(v.Cell, v.Rat, false),
+			fmt.Sprintf("selectionThreshRSRP = %.1f", v.ThreshRSRPDBm),
+		}
+	case rrc.SetupRequest:
+		return []string{nrCellLine(v.Cell, v.Rat, true)}
+	case rrc.Setup:
+		return []string{nrCellLine(v.Cell, v.Rat, true)}
+	case rrc.SetupComplete:
+		return []string{nrCellLine(v.Cell, v.Rat, true)}
+	case rrc.Reconfig:
+		return reconfigLines(v)
+	case rrc.ReconfigComplete:
+		return nil
+	case rrc.MeasReport:
+		out := make([]string, 0, len(v.Entries))
+		for _, e := range v.Entries {
+			out = append(out, fmt.Sprintf("measResult {cell %s, role %s, rsrp %.1f, rsrq %.1f}",
+				e.Cell, e.Role, e.Meas.RSRPDBm, e.Meas.RSRQDB))
+		}
+		return out
+	case rrc.SCGFailureInfo:
+		return []string{fmt.Sprintf("failureType %s", v.FailureType)}
+	case rrc.ReestablishmentRequest:
+		return []string{fmt.Sprintf("reestablishmentCause %s", v.Cause)}
+	case rrc.ReestablishmentComplete:
+		return []string{cellLine(v.Cell.PCI, v.Cell.Channel)}
+	case rrc.Release:
+		return nil
+	case rrc.Exception:
+		return []string{fmt.Sprintf("MM5G State = %s, Substate = %s", v.MMState, v.Substate)}
+	default:
+		return nil
+	}
+}
+
+// cellLine renders the NSG cell-identity line.
+func cellLine(pci, channel int) string {
+	return fmt.Sprintf("Physical Cell ID = %d, Freq = %d", pci, channel)
+}
+
+// nrCellLine renders the cell-identity line with the NR Cell Global ID
+// the way NSG prints NR packets; LTE messages keep the short form.
+func nrCellLine(ref cell.Ref, rat band.RAT, used bool) string {
+	if rat != band.RATNR {
+		return cellLine(ref.PCI, ref.Channel)
+	}
+	cgi := uint64(0)
+	if used {
+		cgi = cell.DeriveCGI(ref)
+	}
+	return fmt.Sprintf("Physical Cell ID = %d, NR Cell Global ID = %d, Freq = %d",
+		ref.PCI, cgi, ref.Channel)
+}
+
+// reconfigLines renders every populated reconfiguration field.
+func reconfigLines(v rrc.Reconfig) []string {
+	out := []string{cellLine(v.Serving.PCI, v.Serving.Channel)}
+	for _, a := range v.AddSCells {
+		out = append(out, "sCellToAddModList "+a.String())
+	}
+	if len(v.ReleaseSCells) > 0 {
+		idx := make([]string, len(v.ReleaseSCells))
+		for i, r := range v.ReleaseSCells {
+			idx[i] = fmt.Sprint(r)
+		}
+		out = append(out, fmt.Sprintf("sCellToReleaseList {%s}", strings.Join(idx, ", ")))
+	}
+	if v.SpCell != nil {
+		out = append(out, fmt.Sprintf("spCellConfig {physCellId %d, ssbFrequency %d}",
+			v.SpCell.PCI, v.SpCell.Channel))
+	}
+	for _, s := range v.SCGSCells {
+		out = append(out, fmt.Sprintf("scgSCell {physCellId %d, ssbFrequency %d}", s.PCI, s.Channel))
+	}
+	if v.SCGRelease {
+		out = append(out, "scg-Release {}")
+	}
+	if v.Mobility != nil {
+		out = append(out, fmt.Sprintf("mobilityControlInfo {targetPhysCellId %d, dl-CarrierFreq %d}",
+			v.Mobility.PCI, v.Mobility.Channel))
+	}
+	for _, mc := range v.MeasConfig {
+		out = append(out, fmt.Sprintf("measConfig {%s}", mc))
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+package sig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/rrc"
+)
+
+// ParseError reports a malformed log line with its position.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sig: line %d: %v (%q)", e.Line, e.Err, e.Text)
+}
+
+// Unwrap returns the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse reads an NSG-style log back into a Log. Lines that are neither
+// a recognizable header nor an indented detail line are skipped (real
+// captures interleave unrelated records); malformed details of a
+// recognized message are an error.
+func Parse(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	log := &Log{}
+	var (
+		cur     *rawEvent
+		lineNum int
+	)
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		msg, err := buildMessage(cur)
+		if err != nil {
+			return &ParseError{Line: cur.line, Text: cur.header, Err: err}
+		}
+		log.Append(cur.at, msg)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNum++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "  ") {
+			if cur != nil {
+				cur.details = append(cur.details, strings.TrimSpace(line))
+			}
+			continue
+		}
+		hdr, ok := parseHeader(line)
+		if !ok {
+			continue // foreign record; tolerate
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		hdr.line = lineNum
+		cur = hdr
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Log, error) { return Parse(strings.NewReader(s)) }
+
+// rawEvent is a header plus its accumulated detail lines.
+type rawEvent struct {
+	at      time.Duration
+	rat     band.RAT
+	kind    string
+	header  string
+	details []string
+	line    int
+}
+
+// parseHeader recognizes "<ts> NR5G RRC OTA Packet -- <CH> / <Kind>" and
+// "<ts> SYS -- EXCEPTION".
+func parseHeader(line string) (*rawEvent, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return nil, false
+	}
+	at, err := parseTimestamp(fields[0])
+	if err != nil {
+		return nil, false
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	if rest == "SYS -- EXCEPTION" {
+		return &rawEvent{at: at, rat: band.RATNR, kind: "EXCEPTION", header: line}, true
+	}
+	techName, after, ok := strings.Cut(rest, " RRC OTA Packet -- ")
+	if !ok {
+		return nil, false
+	}
+	var rat band.RAT
+	switch techName {
+	case "NR5G":
+		rat = band.RATNR
+	case "LTE":
+		rat = band.RATLTE
+	default:
+		return nil, false
+	}
+	_, kind, ok := strings.Cut(after, " / ")
+	if !ok {
+		return nil, false
+	}
+	return &rawEvent{at: at, rat: rat, kind: strings.TrimSpace(kind), header: line}, true
+}
+
+// buildMessage converts a raw event into a typed message.
+func buildMessage(e *rawEvent) (rrc.Message, error) {
+	switch e.kind {
+	case "MIB":
+		ref, err := findCellLine(e.details)
+		if err != nil {
+			return nil, err
+		}
+		return rrc.MIB{Rat: e.rat, Cell: ref}, nil
+	case "SIB1":
+		ref, err := findCellLine(e.details)
+		if err != nil {
+			return nil, err
+		}
+		m := rrc.SIB1{Rat: e.rat, Cell: ref}
+		for _, d := range e.details {
+			if v, ok := strings.CutPrefix(d, "selectionThreshRSRP = "); ok {
+				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad selectionThreshRSRP: %v", err)
+				}
+				m.ThreshRSRPDBm = f
+			}
+		}
+		return m, nil
+	case "RRCSetupRequest", "RRCConnectionSetupRequest":
+		ref, err := findCellLine(e.details)
+		if err != nil {
+			return nil, err
+		}
+		return rrc.SetupRequest{Rat: e.rat, Cell: ref}, nil
+	case "RRCSetup", "RRCConnectionSetup":
+		ref, err := findCellLine(e.details)
+		if err != nil {
+			return nil, err
+		}
+		return rrc.Setup{Rat: e.rat, Cell: ref}, nil
+	case "RRCSetupComplete", "RRCConnectionSetupComplete":
+		ref, err := findCellLine(e.details)
+		if err != nil {
+			return nil, err
+		}
+		return rrc.SetupComplete{Rat: e.rat, Cell: ref}, nil
+	case "RRCReconfiguration", "RRCConnectionReconfiguration":
+		return buildReconfig(e)
+	case "RRCReconfigurationComplete", "RRCConnectionReconfigurationComplete":
+		return rrc.ReconfigComplete{Rat: e.rat}, nil
+	case "MeasurementReport":
+		return buildMeasReport(e)
+	case "SCGFailureInformationNR":
+		for _, d := range e.details {
+			if v, ok := strings.CutPrefix(d, "failureType "); ok {
+				return rrc.SCGFailureInfo{FailureType: rrc.SCGFailureCause(strings.TrimSpace(v))}, nil
+			}
+		}
+		return nil, fmt.Errorf("SCGFailureInformationNR without failureType")
+	case "RRCConnectionReestablishmentRequest":
+		for _, d := range e.details {
+			if v, ok := strings.CutPrefix(d, "reestablishmentCause "); ok {
+				return rrc.ReestablishmentRequest{Cause: rrc.ReestCause(strings.TrimSpace(v))}, nil
+			}
+		}
+		return nil, fmt.Errorf("reestablishment request without cause")
+	case "RRCConnectionReestablishmentComplete":
+		ref, err := findCellLine(e.details)
+		if err != nil {
+			return nil, err
+		}
+		return rrc.ReestablishmentComplete{Cell: ref}, nil
+	case "RRCRelease", "RRCConnectionRelease":
+		return rrc.Release{Rat: e.rat}, nil
+	case "EXCEPTION":
+		m := rrc.Exception{}
+		for _, d := range e.details {
+			if strings.HasPrefix(d, "MM5G State = ") {
+				fmt.Sscanf(d, "MM5G State = %s Substate = %s", &m.MMState, &m.Substate)
+				m.MMState = strings.TrimSuffix(m.MMState, ",")
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("unknown message kind %q", e.kind)
+	}
+}
+
+// findCellLine extracts "Physical Cell ID = P, Freq = C", accepting the
+// NR form that carries the Cell Global ID between the two fields.
+func findCellLine(details []string) (cell.Ref, error) {
+	for _, d := range details {
+		if !strings.HasPrefix(d, "Physical Cell ID = ") {
+			continue
+		}
+		var pci, ch int
+		var cgi uint64
+		if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, NR Cell Global ID = %d, Freq = %d",
+			&pci, &cgi, &ch); err == nil {
+			return cell.Ref{PCI: pci, Channel: ch}, nil
+		}
+		if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, Freq = %d", &pci, &ch); err != nil {
+			return cell.Ref{}, fmt.Errorf("bad cell line %q: %v", d, err)
+		}
+		return cell.Ref{PCI: pci, Channel: ch}, nil
+	}
+	return cell.Ref{}, fmt.Errorf("missing Physical Cell ID line")
+}
+
+// buildReconfig parses every reconfiguration field.
+func buildReconfig(e *rawEvent) (rrc.Message, error) {
+	serving, err := findCellLine(e.details)
+	if err != nil {
+		return nil, err
+	}
+	m := rrc.Reconfig{Rat: e.rat, Serving: serving}
+	for _, d := range e.details {
+		switch {
+		case strings.HasPrefix(d, "sCellToAddModList "):
+			var idx, pci, ch int
+			if _, err := fmt.Sscanf(d, "sCellToAddModList {sCellIndex %d, physCellId %d, absoluteFrequencySSB %d}",
+				&idx, &pci, &ch); err != nil {
+				return nil, fmt.Errorf("bad sCellToAddModList %q: %v", d, err)
+			}
+			m.AddSCells = append(m.AddSCells, rrc.SCellEntry{Index: idx, Cell: cell.Ref{PCI: pci, Channel: ch}})
+		case strings.HasPrefix(d, "sCellToReleaseList {"):
+			body := strings.TrimSuffix(strings.TrimPrefix(d, "sCellToReleaseList {"), "}")
+			for _, tok := range strings.Split(body, ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					continue
+				}
+				idx, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("bad sCellToReleaseList %q: %v", d, err)
+				}
+				m.ReleaseSCells = append(m.ReleaseSCells, idx)
+			}
+		case strings.HasPrefix(d, "spCellConfig {"):
+			var pci, ch int
+			if _, err := fmt.Sscanf(d, "spCellConfig {physCellId %d, ssbFrequency %d}", &pci, &ch); err != nil {
+				return nil, fmt.Errorf("bad spCellConfig %q: %v", d, err)
+			}
+			ref := cell.Ref{PCI: pci, Channel: ch}
+			m.SpCell = &ref
+		case strings.HasPrefix(d, "scgSCell {"):
+			var pci, ch int
+			if _, err := fmt.Sscanf(d, "scgSCell {physCellId %d, ssbFrequency %d}", &pci, &ch); err != nil {
+				return nil, fmt.Errorf("bad scgSCell %q: %v", d, err)
+			}
+			m.SCGSCells = append(m.SCGSCells, cell.Ref{PCI: pci, Channel: ch})
+		case d == "scg-Release {}":
+			m.SCGRelease = true
+		case strings.HasPrefix(d, "mobilityControlInfo {"):
+			var pci, ch int
+			if _, err := fmt.Sscanf(d, "mobilityControlInfo {targetPhysCellId %d, dl-CarrierFreq %d}", &pci, &ch); err != nil {
+				return nil, fmt.Errorf("bad mobilityControlInfo %q: %v", d, err)
+			}
+			ref := cell.Ref{PCI: pci, Channel: ch}
+			m.Mobility = &ref
+		case strings.HasPrefix(d, "measConfig {"):
+			mo, err := parseMeasObject(strings.TrimSuffix(strings.TrimPrefix(d, "measConfig {"), "}"))
+			if err != nil {
+				return nil, err
+			}
+			m.MeasConfig = append(m.MeasConfig, mo)
+		}
+	}
+	return m, nil
+}
+
+// buildMeasReport parses measResult lines.
+func buildMeasReport(e *rawEvent) (rrc.Message, error) {
+	m := rrc.MeasReport{Rat: e.rat}
+	for _, d := range e.details {
+		if !strings.HasPrefix(d, "measResult {") {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(d, "measResult {"), "}")
+		entry := rrc.MeasEntry{}
+		var err error
+		for _, part := range strings.Split(body, ", ") {
+			key, val, ok := strings.Cut(part, " ")
+			if !ok {
+				return nil, fmt.Errorf("bad measResult field %q in %q", part, d)
+			}
+			switch key {
+			case "cell":
+				entry.Cell, err = cell.ParseRef(val)
+			case "role":
+				entry.Role = rrc.MeasRole(val)
+			case "rsrp":
+				entry.Meas.RSRPDBm, err = strconv.ParseFloat(val, 64)
+			case "rsrq":
+				entry.Meas.RSRQDB, err = strconv.ParseFloat(val, 64)
+			default:
+				err = fmt.Errorf("unknown measResult field %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad measResult %q: %v", d, err)
+			}
+		}
+		m.Entries = append(m.Entries, entry)
+	}
+	return m, nil
+}
+
+// parseMeasObject inverts rrc.MeasObject.String, e.g.
+// "A2 RSRP < -156dBm on 387410,398410".
+func parseMeasObject(s string) (rrc.MeasObject, error) {
+	body, chans, ok := strings.Cut(s, " on ")
+	if !ok {
+		return rrc.MeasObject{}, fmt.Errorf("measConfig missing channels: %q", s)
+	}
+	ev, err := ParseEventConfig(body)
+	if err != nil {
+		return rrc.MeasObject{}, err
+	}
+	mo := rrc.MeasObject{Event: ev}
+	for _, tok := range strings.Split(chans, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		ch, err := strconv.Atoi(tok)
+		if err != nil {
+			return rrc.MeasObject{}, fmt.Errorf("bad measConfig channel %q: %v", tok, err)
+		}
+		mo.Channels = append(mo.Channels, ch)
+	}
+	return mo, nil
+}
+
+// ParseEventConfig inverts radio.EventConfig.String, accepting the four
+// shapes the study emits ("A2 RSRP < -156dBm", "A3 RSRQ offset > 6dB",
+// "A5 RSRP < -118dBm and > -120dBm", "B1 RSRP > -115dBm").
+func ParseEventConfig(s string) (radio.EventConfig, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return radio.EventConfig{}, fmt.Errorf("sig: bad event config %q", s)
+	}
+	var q radio.Quantity
+	switch fields[1] {
+	case "RSRP":
+		q = radio.QuantityRSRP
+	case "RSRQ":
+		q = radio.QuantityRSRQ
+	default:
+		return radio.EventConfig{}, fmt.Errorf("sig: bad quantity in %q", s)
+	}
+	num := func(tok string) (float64, error) {
+		tok = strings.TrimSuffix(strings.TrimSuffix(tok, "dBm"), "dB")
+		return strconv.ParseFloat(tok, 64)
+	}
+	switch fields[0] {
+	case "A2":
+		if len(fields) != 4 || fields[2] != "<" {
+			return radio.EventConfig{}, fmt.Errorf("sig: bad A2 config %q", s)
+		}
+		v, err := num(fields[3])
+		if err != nil {
+			return radio.EventConfig{}, err
+		}
+		return radio.A2(q, v), nil
+	case "A3":
+		if len(fields) != 5 || fields[2] != "offset" || fields[3] != ">" {
+			return radio.EventConfig{}, fmt.Errorf("sig: bad A3 config %q", s)
+		}
+		v, err := num(fields[4])
+		if err != nil {
+			return radio.EventConfig{}, err
+		}
+		return radio.A3(q, v), nil
+	case "A5":
+		if len(fields) != 7 || fields[2] != "<" || fields[4] != "and" || fields[5] != ">" {
+			return radio.EventConfig{}, fmt.Errorf("sig: bad A5 config %q", s)
+		}
+		t1, err := num(fields[3])
+		if err != nil {
+			return radio.EventConfig{}, err
+		}
+		t2, err := num(fields[6])
+		if err != nil {
+			return radio.EventConfig{}, err
+		}
+		return radio.A5(q, t1, t2), nil
+	case "B1":
+		if len(fields) != 4 || fields[2] != ">" {
+			return radio.EventConfig{}, fmt.Errorf("sig: bad B1 config %q", s)
+		}
+		v, err := num(fields[3])
+		if err != nil {
+			return radio.EventConfig{}, err
+		}
+		return radio.B1(q, v), nil
+	default:
+		return radio.EventConfig{}, fmt.Errorf("sig: unknown event kind in %q", s)
+	}
+}

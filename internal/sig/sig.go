@@ -1,0 +1,100 @@
+// Package sig defines the signaling-capture format: a Network Signal
+// Guru-style text log of RRC messages (the shape shown in the paper's
+// Appendix B, Figures 24–26) with an emitter and a tolerant parser.
+//
+// The analysis pipeline deliberately runs on *parsed logs*, never on
+// simulator internals, mirroring the authors' methodology: NSG capture →
+// parse → serving-cell-set sequence → loop detection. The same parser
+// therefore works on hand-written or externally produced logs in this
+// format (see examples/parsetrace).
+package sig
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/rrc"
+)
+
+// Event is one captured message with its offset from the start of the
+// run. Offsets are used instead of wall-clock times so runs are
+// reproducible and comparable.
+type Event struct {
+	At  time.Duration
+	Msg rrc.Message
+}
+
+// Log is an ordered signaling capture.
+type Log struct {
+	Events []Event
+}
+
+// Append records a message at the given offset.
+func (l *Log) Append(at time.Duration, m rrc.Message) {
+	l.Events = append(l.Events, Event{At: at, Msg: m})
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.Events) }
+
+// Duration returns the offset of the last event (0 for an empty log).
+func (l *Log) Duration() time.Duration {
+	if len(l.Events) == 0 {
+		return 0
+	}
+	return l.Events[len(l.Events)-1].At
+}
+
+// tech returns the NSG technology tag for a message.
+func tech(m rrc.Message) string {
+	if m.RAT() == band.RATNR {
+		return "NR5G"
+	}
+	return "LTE"
+}
+
+// channelOf maps a message kind to the logical channel NSG shows in the
+// packet header.
+func channelOf(m rrc.Message) string {
+	switch m.(type) {
+	case rrc.MIB:
+		return "BCCH_BCH"
+	case rrc.SIB1:
+		return "BCCH_DL_SCH"
+	case rrc.SetupRequest, rrc.ReestablishmentRequest:
+		return "UL_CCCH"
+	case rrc.Setup:
+		return "DL_CCCH"
+	case rrc.SetupComplete, rrc.ReconfigComplete, rrc.MeasReport,
+		rrc.SCGFailureInfo, rrc.ReestablishmentComplete:
+		return "UL_DCCH"
+	case rrc.Reconfig, rrc.Release:
+		return "DL_DCCH"
+	default:
+		return "SYS"
+	}
+}
+
+// Timestamp renders an offset as the HH:MM:SS.mmm clock NSG logs use,
+// anchored at 00:00:00.
+func Timestamp(d time.Duration) string {
+	ms := d.Milliseconds()
+	h := ms / 3600000
+	m := ms / 60000 % 60
+	s := ms / 1000 % 60
+	return fmt.Sprintf("%02d:%02d:%02d.%03d", h, m, s, ms%1000)
+}
+
+// parseTimestamp inverts Timestamp.
+func parseTimestamp(s string) (time.Duration, error) {
+	var h, m, sec, ms int
+	if _, err := fmt.Sscanf(s, "%d:%d:%d.%d", &h, &m, &sec, &ms); err != nil {
+		return 0, fmt.Errorf("sig: bad timestamp %q: %v", s, err)
+	}
+	if m < 0 || m > 59 || sec < 0 || sec > 59 || ms < 0 || ms > 999 || h < 0 {
+		return 0, fmt.Errorf("sig: timestamp %q out of range", s)
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute +
+		time.Duration(sec)*time.Second + time.Duration(ms)*time.Millisecond, nil
+}

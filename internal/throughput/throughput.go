@@ -1,0 +1,176 @@
+// Package throughput models the bulk-download data rate of a run from
+// its serving-cell-set timeline, reproducing the performance side of
+// the study (Fig. 1b, Fig. 11): fast when 5G is ON (scaled by the
+// aggregate NR channel width), a 4G floor for the NSA operators when 5G
+// is OFF, and zero while IDLE — which is why OPT's loops suspend data
+// service entirely (F4).
+package throughput
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/policy"
+	"github.com/mssn/loopscope/internal/stats"
+	"github.com/mssn/loopscope/internal/trace"
+)
+
+// Sample is one download-speed observation.
+type Sample struct {
+	At   time.Duration
+	Mbps float64
+}
+
+// refWidthMHz normalizes the width scaling: an OPT 12R bundle
+// aggregates about 210 MHz.
+const refWidthMHz = 210.0
+
+// rampSeconds is how long TCP takes to refill the pipe after an
+// OFF→ON transition.
+const rampSeconds = 2
+
+// Generate produces one speed sample per second over the timeline. The
+// same timeline and seed always produce the same series.
+func Generate(tl *trace.Timeline, op *policy.Operator, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(tl.Duration / time.Second)
+	out := make([]Sample, 0, n)
+	stepIdx := 0
+	onStreak := 0
+	for s := 0; s < n; s++ {
+		at := time.Duration(s) * time.Second
+		for stepIdx+1 < len(tl.Steps) && tl.Steps[stepIdx+1].At <= at {
+			stepIdx++
+		}
+		set := tl.Steps[stepIdx].Set
+		mbps := 0.0
+		switch {
+		case set.Uses5G():
+			onStreak++
+			mbps = onSpeed(set, op, rng)
+			if onStreak <= rampSeconds {
+				mbps *= 0.3 + 0.35*float64(onStreak)
+			}
+		case set.IsIdle():
+			onStreak = 0
+			mbps = 0
+		default: // 4G only
+			onStreak = 0
+			mbps = lognorm(op.MedianOffMbps, 0.30, rng)
+		}
+		out = append(out, Sample{At: at, Mbps: mbps})
+	}
+	return out
+}
+
+// onSpeed is the 5G-ON speed: the operator median scaled sublinearly by
+// the aggregate NR width in use (carrier aggregation helps, with
+// diminishing returns), with lognormal run-to-run variation.
+func onSpeed(set cell.Set, op *policy.Operator, rng *rand.Rand) float64 {
+	width := aggregateNRWidth(set)
+	factor := math.Pow(width/refWidthMHz, 0.6)
+	if op.Mode == policy.ModeNSA {
+		// NSA anchors carry signaling on 4G; the NR leg dominates the
+		// rate, already captured by the operator median.
+		factor = math.Pow(width/60.0, 0.4)
+	}
+	return lognorm(op.MedianOnMbps*factor, 0.25, rng)
+}
+
+// aggregateNRWidth sums the channel widths of all serving NR cells.
+func aggregateNRWidth(set cell.Set) float64 {
+	var sum float64
+	add := func(g *cell.Group) {
+		if g == nil || g.RAT != band.RATNR {
+			return
+		}
+		for _, ref := range g.Cells() {
+			sum += band.DefaultWidthMHz(band.RATNR, ref.Channel)
+		}
+	}
+	add(set.MCG)
+	add(set.SCG)
+	if sum == 0 {
+		sum = 20
+	}
+	return sum
+}
+
+// lognorm draws a lognormal value with the given median and log-σ.
+func lognorm(median, sigma float64, rng *rand.Rand) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}
+
+// WindowStats summarizes speeds inside [from, to).
+func WindowStats(samples []Sample, from, to time.Duration) []float64 {
+	var xs []float64
+	for _, s := range samples {
+		if s.At >= from && s.At < to {
+			xs = append(xs, s.Mbps)
+		}
+	}
+	return xs
+}
+
+// CycleSpeed is the per-cycle speed summary of Fig. 11: the median
+// download speed during the ON and OFF portions of one loop cycle.
+type CycleSpeed struct {
+	OnMedian  float64
+	OffMedian float64
+}
+
+// Loss returns the speed lost when 5G turns off.
+func (c CycleSpeed) Loss() float64 { return c.OnMedian - c.OffMedian }
+
+// CycleSpeeds computes per-cycle ON/OFF medians over a timeline given
+// the cycle boundaries (start, onDur, total). Cycles without samples in
+// a window are skipped.
+func CycleSpeeds(samples []Sample, tl *trace.Timeline, cycles []Cycle) []CycleSpeed {
+	var out []CycleSpeed
+	for _, c := range cycles {
+		var on, off []float64
+		for _, s := range samples {
+			if s.At < c.Start || s.At >= c.Start+c.Total {
+				continue
+			}
+			// Attribute the sample by the 5G state at its time.
+			if in5G(tl, s.At) {
+				on = append(on, s.Mbps)
+			} else {
+				off = append(off, s.Mbps)
+			}
+		}
+		if len(on) == 0 || len(off) == 0 {
+			continue
+		}
+		out = append(out, CycleSpeed{
+			OnMedian:  stats.Median(on),
+			OffMedian: stats.Median(off),
+		})
+	}
+	return out
+}
+
+// Cycle is a loop cycle window.
+type Cycle struct {
+	Start time.Duration
+	Total time.Duration
+}
+
+// in5G reports the 5G state at an instant.
+func in5G(tl *trace.Timeline, at time.Duration) bool {
+	state := false
+	for _, s := range tl.Steps {
+		if s.At > at {
+			break
+		}
+		state = s.Set.Uses5G()
+	}
+	return state
+}

@@ -1,0 +1,486 @@
+package uesim
+
+import (
+	"sort"
+	"time"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/rrc"
+)
+
+// saEngine simulates 5G SA (OPT): NR PCell anchoring, network-configured
+// SCell partners, measurement reporting, and the three S1 failure paths.
+type saEngine struct {
+	*engine
+
+	connected bool
+	idleUntil time.Duration
+	broadcast bool // MIB/SIB1 emitted for this idle period
+
+	pcell     *cell.Cell
+	lastPCell *cell.Cell // most recently camped PCell (selection stickiness)
+	scells    []*cell.Cell
+	indexOf   map[cell.Ref]int // sCellIndex assignment
+	nextIdx   int
+
+	scellsAdded  bool
+	scellAddAt   time.Duration
+	nextReportAt time.Duration
+
+	missingStreak map[cell.Ref]int
+	poorStreak    map[cell.Ref]int
+
+	// failedCand records modification targets that already failed, used
+	// by the BlacklistFailedModTargets mitigation (network-side state,
+	// persists across re-establishments).
+	failedCand map[cell.Ref]bool
+	// a3Streak counts consecutive reports in which a candidate's A3
+	// condition held, for the time-to-trigger mitigation.
+	a3Streak map[cell.Ref]int
+}
+
+// runSA drives the SA event loop for the configured duration.
+func (e *engine) runSA() {
+	sa := &saEngine{engine: e, indexOf: map[cell.Ref]int{}, nextIdx: 1,
+		failedCand: map[cell.Ref]bool{}, a3Streak: map[cell.Ref]int{}}
+	sa.idleUntil = e.jitterDur(selectDelay, 200*time.Millisecond)
+	for e.now < e.cfg.Duration {
+		sa.step()
+		e.now += tick
+	}
+}
+
+// step advances one tick.
+func (s *saEngine) step() {
+	if !s.connected {
+		if s.now >= s.idleUntil {
+			s.establish()
+		}
+		return
+	}
+	if !s.scellsAdded && s.now >= s.scellAddAt {
+		s.addSCells()
+	}
+	if s.now >= s.nextReportAt {
+		s.reportAndDecide()
+		s.nextReportAt = s.now + reportPeriod
+	}
+}
+
+// anchorCandidates lists the cells this device may anchor on (PCell):
+// NR cells on anchor-capable channels respecting the device's MIMO
+// constraint, with the device band preference applied.
+func (s *saEngine) anchorCandidates() []*cell.Cell {
+	var out []*cell.Cell
+	for _, c := range s.cfg.Cluster.Cells {
+		if c.RAT != band.RATNR || c.MIMOLayers < s.cfg.Device.MinMIMOLayers {
+			continue
+		}
+		switch c.Band() {
+		case "n41", "n71": // wide anchors
+			out = append(out, c)
+		case "n25":
+			if c.Channel == 501390 { // not deployed; n25 never anchors here
+				out = append(out, c)
+			}
+		}
+	}
+	if pref := s.cfg.Device.PreferredNRBand; pref != "" {
+		var preferred []*cell.Cell
+		for _, c := range out {
+			if c.Band() == pref {
+				preferred = append(preferred, c)
+			}
+		}
+		if len(preferred) > 0 {
+			return preferred
+		}
+	}
+	return out
+}
+
+// establish performs cell selection and RRC connection establishment
+// (the paper's Fig. 24 flow).
+func (s *saEngine) establish() {
+	best, bestMeas := s.selectCell()
+	if best == nil {
+		// Nothing above the selection threshold right now; retry soon.
+		s.idleUntil = s.now + 500*time.Millisecond
+		return
+	}
+	_ = bestMeas
+	if !s.broadcast {
+		s.emit(rrc.MIB{Rat: band.RATNR, Cell: best.Ref})
+		s.emit(rrc.SIB1{Rat: band.RATNR, Cell: best.Ref, ThreshRSRPDBm: s.cfg.Op.SelectThreshRSRPDBm})
+		s.broadcast = true
+	}
+	s.emit(rrc.SetupRequest{Rat: band.RATNR, Cell: best.Ref})
+	s.emit(rrc.Setup{Rat: band.RATNR, Cell: best.Ref})
+	s.emit(rrc.SetupComplete{Rat: band.RATNR, Cell: best.Ref})
+	s.connected = true
+	s.pcell = best
+	s.lastPCell = best
+	s.scells = nil
+	s.indexOf = map[cell.Ref]int{}
+	s.nextIdx = 1
+	s.scellsAdded = false
+	s.scellAddAt = s.now + s.jitterDur(scellAddDelay, 300*time.Millisecond)
+	s.nextReportAt = s.now + reportPeriod
+	s.missingStreak = map[cell.Ref]int{}
+	s.poorStreak = map[cell.Ref]int{}
+	if !s.cfg.Device.SupportsNRCA {
+		s.scellsAdded = true // single-cell operation
+	}
+}
+
+// selectCell picks the anchor with the best priority-adjusted sampled
+// RSRP among those clearing the SIB threshold. The per-channel priority
+// (SIB cellReselectionPriority) makes re-anchoring deterministic enough
+// for loops to persist.
+func (s *saEngine) selectCell() (*cell.Cell, radio.Measurement) {
+	var best *cell.Cell
+	var bestM radio.Measurement
+	var bestScore float64
+	for _, c := range s.anchorCandidates() {
+		m := s.sample(c)
+		if m.RSRPDBm < s.cfg.Op.SelectThreshRSRPDBm {
+			continue
+		}
+		score := m.RSRPDBm + s.cfg.Op.AnchorPriorityDB[c.Channel]
+		// Camping stickiness: the UE strongly prefers re-selecting the
+		// cell it last camped on (stored-information cell selection),
+		// which is what makes the loop re-anchor identically.
+		if !s.cfg.NoCampingStickiness && s.lastPCell != nil && c.Ref == s.lastPCell.Ref {
+			score += campingStickyDB
+		}
+		if best == nil || score > bestScore {
+			best, bestM, bestScore = c, m, score
+		}
+	}
+	return best, bestM
+}
+
+// campingStickyDB is the re-selection bonus of the last camped cell.
+const campingStickyDB = 8.0
+
+// partnerSCells returns the network-configured SCell partner list for a
+// PCell, filtered by device capability. The configuration is
+// channel-structural, not measurement-driven — which is exactly how a
+// below-the-floor partner ends up configured (S1E1).
+func (s *saEngine) partnerSCells() []*cell.Cell {
+	var partners []*cell.Cell
+	pcellPCI := s.pcell.PCI
+	switch s.pcell.Band() {
+	case "n41":
+		// Co-sited cells on the other channels: the other n41 channel,
+		// the n25 398410 partner, and the n25 387410 partner (Fig. 25).
+		for _, c := range s.cfg.Cluster.Cells {
+			if c.RAT != band.RATNR || c.PCI != pcellPCI || c.Channel == s.pcell.Channel {
+				continue
+			}
+			if c.Band() == "n41" || c.Band() == "n25" {
+				partners = append(partners, c)
+			}
+		}
+	case "n71":
+		// The n71 anchor pairs with the strongest n41 cell only.
+		var best *cell.Cell
+		var bestRSRP float64
+		for _, c := range s.cfg.Cluster.Cells {
+			if c.RAT != band.RATNR || c.Band() != "n41" {
+				continue
+			}
+			if m := s.median(c); best == nil || m.RSRPDBm > bestRSRP {
+				best, bestRSRP = c, m.RSRPDBm
+			}
+		}
+		if best != nil {
+			partners = append(partners, best)
+		}
+	case "n25":
+		// Alternate-tower 501390 anchor pairs narrowly with its own
+		// 398410 cell.
+		for _, c := range s.cfg.Cluster.Cells {
+			if c.RAT == band.RATNR && c.PCI == pcellPCI && c.Channel == 398410 {
+				partners = append(partners, c)
+			}
+		}
+	}
+	// Device constraints: MIMO compatibility and SCell count.
+	var out []*cell.Cell
+	for _, c := range partners {
+		if c.MIMOLayers >= s.cfg.Device.MinMIMOLayers {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	if max := s.cfg.Device.MaxNRSCells; len(out) > max {
+		// Prefer the widest channels when the device caps aggregation.
+		sort.Slice(out, func(i, j int) bool { return out[i].WidthMHz() > out[j].WidthMHz() })
+		out = out[:max]
+		sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	}
+	return out
+}
+
+// addSCells issues the SCell-addition reconfiguration (Fig. 25).
+func (s *saEngine) addSCells() {
+	s.scellsAdded = true
+	partners := s.partnerSCells()
+	if len(partners) == 0 {
+		return
+	}
+	rc := rrc.Reconfig{Rat: band.RATNR, Serving: s.pcell.Ref}
+	for _, c := range partners {
+		rc.AddSCells = append(rc.AddSCells, rrc.SCellEntry{Index: s.nextIdx, Cell: c.Ref})
+		s.indexOf[c.Ref] = s.nextIdx
+		s.nextIdx++
+		s.scells = append(s.scells, c)
+	}
+	channels := servingChannels(s.pcell, s.scells)
+	rc.MeasConfig = []rrc.MeasObject{
+		{Channels: channels, Event: s.cfg.Op.SCellA2},
+		{Channels: channels, Event: s.cfg.Op.SCellA3},
+	}
+	s.emit(rc)
+	s.emit(rrc.ReconfigComplete{Rat: band.RATNR})
+}
+
+// servingChannels lists the distinct channels in use.
+func servingChannels(pcell *cell.Cell, scells []*cell.Cell) []int {
+	seen := map[int]bool{pcell.Channel: true}
+	out := []int{pcell.Channel}
+	for _, c := range scells {
+		if !seen[c.Channel] {
+			seen[c.Channel] = true
+			out = append(out, c.Channel)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// reportAndDecide samples the environment, emits the measurement report,
+// and runs the network-side decision logic (Fig. 14's four-step cycle).
+func (s *saEngine) reportAndDecide() {
+	samples := map[cell.Ref]radio.Measurement{}
+	var entries []rrc.MeasEntry
+
+	addEntry := func(c *cell.Cell, role rrc.MeasRole) radio.Measurement {
+		m := s.sample(c)
+		samples[c.Ref] = m
+		if m.Measurable() {
+			entries = append(entries, rrc.MeasEntry{Cell: c.Ref, Role: role, Meas: m})
+		}
+		return m
+	}
+	addEntry(s.pcell, rrc.RolePCell)
+	for _, c := range s.scells {
+		addEntry(c, rrc.RoleSCell)
+	}
+	// Candidates: co-channel alternatives to serving SCells plus the
+	// other anchors. Kept as an ordered slice so the RNG consumption
+	// order (and thus the whole run) is deterministic.
+	var candidates []*cell.Cell
+	seen := map[cell.Ref]bool{}
+	addCand := func(c *cell.Cell) {
+		if !seen[c.Ref] && !s.serving(c.Ref) {
+			seen[c.Ref] = true
+			candidates = append(candidates, c)
+		}
+	}
+	for _, sc := range s.scells {
+		for _, c := range s.cfg.Cluster.CellsOnChannel(sc.Channel) {
+			if c.Ref != sc.Ref && c.MIMOLayers >= s.cfg.Device.MinMIMOLayers {
+				addCand(c)
+			}
+		}
+	}
+	for _, c := range s.anchorCandidates() {
+		addCand(c)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Channel != candidates[j].Channel {
+			return candidates[i].Channel < candidates[j].Channel
+		}
+		return candidates[i].PCI < candidates[j].PCI
+	})
+	for _, c := range candidates {
+		addEntry(c, rrc.RoleCandidate)
+	}
+	s.emit(rrc.MeasReport{Rat: band.RATNR, Entries: entries})
+
+	// 1. S1E1 path: a serving SCell missing from reports.
+	for _, sc := range s.scells {
+		if samples[sc.Ref].Measurable() {
+			s.missingStreak[sc.Ref] = 0
+			continue
+		}
+		s.missingStreak[sc.Ref]++
+		if s.missingStreak[sc.Ref] >= missingReports {
+			if s.cfg.Fixes.ReleaseOnlyBadApple {
+				s.releaseSCell(sc)
+				return
+			}
+			// RRC gives up on the whole MCG: "a few bad apples ruin
+			// all" (F9).
+			s.emit(rrc.Release{Rat: band.RATNR})
+			s.goIdle(s.jitterDur(releaseIdle, time.Second))
+			return
+		}
+	}
+	// 2. S1E2 path: a serving SCell persistently reported very poor,
+	// with no corrective command in the network's logic.
+	for _, sc := range s.scells {
+		m, ok := samples[sc.Ref]
+		if ok && m.Measurable() && m.RSRQDB <= -23 {
+			s.poorStreak[sc.Ref]++
+			if s.poorStreak[sc.Ref] >= poorReports {
+				if s.cfg.Fixes.ReleaseOnlyBadApple {
+					s.releaseSCell(sc)
+					return
+				}
+				s.emit(rrc.Release{Rat: band.RATNR})
+				s.goIdle(s.jitterDur(releaseIdle, time.Second))
+				return
+			}
+		} else if ok {
+			s.poorStreak[sc.Ref] = 0
+		}
+	}
+	// 3. S1E3 path: A3 — a co-channel candidate looks offset-better
+	// than a serving SCell, so the network commands a modification.
+	for _, sc := range s.scells {
+		servM, ok := samples[sc.Ref]
+		if !ok || !servM.Measurable() {
+			continue
+		}
+		var bestCand *cell.Cell
+		var bestM radio.Measurement
+		for _, c := range candidates {
+			if c.Channel != sc.Channel {
+				continue
+			}
+			if s.cfg.Fixes.BlacklistFailedModTargets && s.failedCand[c.Ref] {
+				continue
+			}
+			m, ok := samples[c.Ref]
+			if !ok || !m.Measurable() {
+				continue
+			}
+			if bestCand == nil || m.RSRPDBm > bestM.RSRPDBm {
+				bestCand, bestM = c, m
+			}
+		}
+		if bestCand == nil || !s.cfg.Op.SCellA3.Entered(servM, bestM) {
+			if bestCand != nil {
+				s.a3Streak[bestCand.Ref] = 0
+			}
+			continue
+		}
+		// Time-to-trigger (mitigation): the condition must persist for
+		// k consecutive reports, filtering out fading flukes.
+		if ttt := s.cfg.Fixes.A3TimeToTriggerReports; ttt > 0 {
+			s.a3Streak[bestCand.Ref]++
+			if s.a3Streak[bestCand.Ref] < ttt {
+				continue
+			}
+			s.a3Streak[bestCand.Ref] = 0
+		}
+		if s.modifySCell(sc, bestCand) {
+			return // state changed (success or exception); re-evaluate next report
+		}
+	}
+}
+
+// serving reports whether a ref is the PCell or an SCell.
+func (s *saEngine) serving(r cell.Ref) bool {
+	if s.pcell.Ref == r {
+		return true
+	}
+	for _, c := range s.scells {
+		if c.Ref == r {
+			return true
+		}
+	}
+	return false
+}
+
+// modifySCell issues the SCell-modification reconfiguration and models
+// its execution. On the fragile channel the commanded advantage must
+// hold up at activation time; when it does not, the modem throws the
+// exception that releases every serving cell (S1E3, Fig. 26). It
+// returns true when the serving set changed.
+func (s *saEngine) modifySCell(old, new_ *cell.Cell) bool {
+	oldIdx := s.indexOf[old.Ref]
+	newIdx := s.nextIdx
+	s.nextIdx++
+	s.emit(rrc.Reconfig{
+		Rat:           band.RATNR,
+		Serving:       s.pcell.Ref,
+		AddSCells:     []rrc.SCellEntry{{Index: newIdx, Cell: new_.Ref}},
+		ReleaseSCells: []int{oldIdx},
+	})
+	s.emit(rrc.ReconfigComplete{Rat: band.RATNR})
+
+	// Execution: re-observe both cells at activation. On the fragile
+	// narrow channel the commanded advantage must still hold; on the
+	// robust wide channels only absolute weakness fails activation.
+	mOld := s.sample(old)
+	mNew := s.sample(new_)
+	ok := mNew.RSRPDBm > modExecFloor
+	if new_.Channel == fragileChannel {
+		ok = ok && mNew.RSRPDBm > mOld.RSRPDBm+fragileMarginDB
+	}
+	if ok {
+		delete(s.indexOf, old.Ref)
+		s.indexOf[new_.Ref] = newIdx
+		for i, c := range s.scells {
+			if c.Ref == old.Ref {
+				s.scells[i] = new_
+			}
+		}
+		delete(s.missingStreak, old.Ref)
+		delete(s.poorStreak, old.Ref)
+		return true
+	}
+	s.failedCand[new_.Ref] = true
+	s.emit(rrc.Exception{MMState: "DEREGISTERED", Substate: "NO_CELL_AVAILABLE"})
+	s.goIdle(s.jitterDur(exceptionIdle, time.Second))
+	return true
+}
+
+// releaseSCell drops a single SCell (the F9 mitigation): the connection
+// and the other serving cells survive.
+func (s *saEngine) releaseSCell(bad *cell.Cell) {
+	idx, ok := s.indexOf[bad.Ref]
+	if !ok {
+		return
+	}
+	s.emit(rrc.Reconfig{
+		Rat:           band.RATNR,
+		Serving:       s.pcell.Ref,
+		ReleaseSCells: []int{idx},
+	})
+	s.emit(rrc.ReconfigComplete{Rat: band.RATNR})
+	delete(s.indexOf, bad.Ref)
+	delete(s.missingStreak, bad.Ref)
+	delete(s.poorStreak, bad.Ref)
+	for i, c := range s.scells {
+		if c.Ref == bad.Ref {
+			s.scells = append(s.scells[:i], s.scells[i+1:]...)
+			break
+		}
+	}
+}
+
+// goIdle drops the connection state and schedules re-establishment.
+func (s *saEngine) goIdle(after time.Duration) {
+	s.connected = false
+	s.broadcast = false
+	s.pcell = nil
+	s.scells = nil
+	s.idleUntil = s.now + after
+}

@@ -1,0 +1,206 @@
+// Package uesim is the run engine: it simulates one measurement run —
+// a UE camped at a location, continuously downloading, exchanging RRC
+// with the network over the synthetic radio field — and emits the
+// NSG-style signaling log the analysis pipeline consumes.
+//
+// The engine implements the network- and device-side behaviours the
+// paper reverse-engineers: SA SCell management with its three failure
+// shapes (§5.1), and NSA master/secondary management with the
+// channel-specific policies of §5.2 (blind redirects, 5G-disabled
+// channels, SCG-recovery configuration cadence). Loops are never
+// scripted; they emerge (or not) from the radio medians at the location
+// interacting with these procedures.
+package uesim
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/mssn/loopscope/internal/band"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/device"
+	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/policy"
+	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/sig"
+)
+
+// Tunable procedure timings, chosen to match the instance timelines in
+// the paper's appendix (SCell addition ≈ 3 s after establishment,
+// ≈ 10–11 s of IDLE after the SCell-modification exception, 1 Hz
+// measurement reporting).
+const (
+	tick            = 100 * time.Millisecond
+	reportPeriod    = time.Second
+	scellAddDelay   = 3 * time.Second
+	exceptionIdle   = 10500 * time.Millisecond
+	releaseIdle     = 9500 * time.Millisecond
+	selectDelay     = 600 * time.Millisecond
+	missingReports  = 8      // reports without an SCell before release (S1E1)
+	poorReports     = 12     // consecutive poor reports before release (S1E2)
+	rlfThreshRSRP   = -120.0 // PCell sample below this counts toward RLF
+	rlfConsecutive  = 3      // seconds of bad samples before RLF
+	hoFailRSRP      = -123.0 // handover execution fails below this sample
+	modExecFloor    = -105.0 // SCell/PSCell activation floor
+	scgExecFloor    = -118.0
+	fragileChannel  = 387410 // OPT's problematic n25 channel (F14)
+	fragileMarginDB = 6.0    // advantage that must persist on the fragile channel
+	robustMarginDB  = -10.0  // effectively always succeeds elsewhere
+)
+
+// Config describes one run.
+type Config struct {
+	Op       *policy.Operator
+	Field    *radio.Field
+	Cluster  *deploy.Cluster
+	Device   *device.Profile
+	Loc      geo.Point // defaults to the cluster location
+	Duration time.Duration
+	Seed     int64
+
+	// Path, when non-empty, turns the run into a walking experiment
+	// (§7): the UE moves along the waypoints at WalkSpeedMps, starting
+	// from Loc (or the first waypoint when Loc is zero). Loops appear
+	// and disappear as the radio features change under the walker.
+	Path         []geo.Point
+	WalkSpeedMps float64 // default 1.4 m/s
+
+	// NoCampingStickiness disables the stored-information re-selection
+	// bonus, for the ablation showing that without it persistent loops
+	// degrade into semi-persistent ones (see DESIGN.md, Calibration).
+	NoCampingStickiness bool
+
+	// Fixes applies candidate mitigations (the paper's Q3). Each field
+	// targets one loop family's root cause.
+	Fixes Fixes
+}
+
+// Fixes are network-side configuration remedies for the loop causes of
+// §5. They answer the paper's Q3: each one removes the inconsistency
+// behind one loop family instead of patching its symptom.
+type Fixes struct {
+	// ReleaseOnlyBadApple fixes F9 ("a few bad apples ruin all"): a
+	// never-reported or persistently poor SCell is released
+	// individually instead of tearing down the whole MCG (kills S1E1
+	// and S1E2).
+	ReleaseOnlyBadApple bool
+	// BlacklistFailedModTargets fixes S1E3: after an SCell modification
+	// toward a candidate fails, the network stops commanding the same
+	// modification instead of retrying it forever.
+	BlacklistFailedModTargets bool
+	// AlignHandoverPolicies fixes N2E1/N1 (F15): the RSRQ preference
+	// toward the "5G-disabled"/SCG-dropping channels is removed, so the
+	// PCell stops ping-ponging onto them.
+	AlignHandoverPolicies bool
+	// FastSCGRecovery fixes the OPV side of N2E2 (F15): fresh
+	// measurement configuration is pushed immediately after an SCG
+	// failure rather than on the 30-second cadence, and the failed
+	// PSCell-change target is not retried.
+	FastSCGRecovery bool
+	// A3TimeToTriggerReports requires the A3 entering condition to hold
+	// for this many consecutive reports before an SCell modification is
+	// commanded — the classic time-to-trigger tuning that suppresses
+	// fading-triggered modifications (another S1E3 remedy).
+	A3TimeToTriggerReports int
+}
+
+// Result is the run outcome: the signaling capture.
+type Result struct {
+	Log *sig.Log
+}
+
+// Run executes one simulated stationary run.
+func Run(cfg Config) *Result {
+	if cfg.Duration == 0 {
+		cfg.Duration = 5 * time.Minute
+	}
+	if cfg.Device == nil {
+		cfg.Device = device.OnePlus12R()
+	}
+	if (cfg.Loc == geo.Point{}) {
+		if len(cfg.Path) > 0 {
+			cfg.Loc = cfg.Path[0]
+		} else {
+			cfg.Loc = cfg.Cluster.Loc
+		}
+	}
+	if cfg.WalkSpeedMps == 0 {
+		cfg.WalkSpeedMps = 1.4
+	}
+	e := &engine{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		log: &sig.Log{},
+	}
+	if cfg.Op.Mode == policy.ModeSA {
+		e.runSA()
+	} else {
+		e.runNSA()
+	}
+	// Stamp the run end so OFF tails are measured to the full duration.
+	if e.log.Duration() < cfg.Duration {
+		rat := band.RATNR
+		if cfg.Op.Mode == policy.ModeNSA {
+			rat = band.RATLTE
+		}
+		e.log.Append(cfg.Duration, rrc.MeasReport{Rat: rat})
+	}
+	return &Result{Log: e.log}
+}
+
+// engine is the shared simulation state.
+type engine struct {
+	cfg Config
+	rng *rand.Rand
+	log *sig.Log
+	now time.Duration
+}
+
+// emit appends a message at the current simulated time and advances the
+// clock by one millisecond so message ordering is strict.
+func (e *engine) emit(m rrc.Message) {
+	e.log.Append(e.now, m)
+	e.now += time.Millisecond
+}
+
+// pos returns the UE position at the current simulated time: the fixed
+// run location for stationary runs, or the point reached along the walk
+// path.
+func (e *engine) pos() geo.Point {
+	if len(e.cfg.Path) == 0 {
+		return e.cfg.Loc
+	}
+	remaining := e.now.Seconds() * e.cfg.WalkSpeedMps
+	cur := e.cfg.Loc
+	for _, wp := range e.cfg.Path {
+		leg := cur.Dist(wp)
+		if leg >= remaining {
+			if leg == 0 {
+				return wp
+			}
+			t := remaining / leg
+			return geo.P(cur.X+t*(wp.X-cur.X), cur.Y+t*(wp.Y-cur.Y))
+		}
+		remaining -= leg
+		cur = wp
+	}
+	return cur // path exhausted: the walker stands at the last waypoint
+}
+
+// sample draws one faded measurement of a cell at the UE position.
+func (e *engine) sample(c *cell.Cell) radio.Measurement {
+	return e.cfg.Field.Sample(c, e.pos(), e.rng)
+}
+
+// median returns the deterministic local median of a cell at the UE
+// position.
+func (e *engine) median(c *cell.Cell) radio.Measurement {
+	return e.cfg.Field.Median(c, e.pos())
+}
+
+// jitterDur perturbs a duration by ±spread.
+func (e *engine) jitterDur(d, spread time.Duration) time.Duration {
+	return d + time.Duration((e.rng.Float64()*2-1)*float64(spread))
+}

@@ -1,0 +1,274 @@
+// Package loopscope is a library for detecting, classifying, measuring
+// and predicting 5G ON-OFF loops — the phenomenon studied in "An
+// In-Depth Look into 5G ON-OFF Loops in the Wild" (IMC '25): operational
+// 5G networks that repeatedly turn a device's 5G radio access off and
+// back on under unchanged radio conditions, caused by inconsistent
+// RRC triggers.
+//
+// The library has three layers:
+//
+//   - Analysis: parse an NSG-style signaling log (ParseLog), fold it
+//     into a serving-cell-set timeline (ExtractTimeline), detect ON-OFF
+//     loops (DetectLoops), classify their causes (ClassifyLoop) and
+//     compute per-cycle impact metrics. This layer works on any capture
+//     in the supported text format.
+//
+//   - Simulation: a full RRC-procedure-level simulator of 5G SA and 5G
+//     NSA radio access (SimulateRun, RunStudy) over a synthetic radio
+//     environment with the three operator policy profiles of the study,
+//     used to regenerate every experiment of the paper.
+//
+//   - Prediction: the §6 loop-probability model (FitModel, Model) that
+//     maps RSRP features of a location's cellset combinations to a loop
+//     probability.
+//
+// The exported names below alias the implementation packages so the
+// whole surface is reachable from this one import.
+package loopscope
+
+import (
+	"io"
+	"time"
+
+	"github.com/mssn/loopscope/internal/campaign"
+	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/core"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/device"
+	"github.com/mssn/loopscope/internal/experiments"
+	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/policy"
+	"github.com/mssn/loopscope/internal/sig"
+	"github.com/mssn/loopscope/internal/throughput"
+	"github.com/mssn/loopscope/internal/trace"
+	"github.com/mssn/loopscope/internal/uesim"
+)
+
+// Core analysis types.
+type (
+	// Log is a parsed signaling capture.
+	Log = sig.Log
+	// Timeline is the serving-cell-set sequence extracted from a log.
+	Timeline = trace.Timeline
+	// CellSet is one serving cell set (MCG + optional SCG).
+	CellSet = cell.Set
+	// CellRef identifies a cell as ID@FreqChannelNo.
+	CellRef = cell.Ref
+	// Loop is one detected ON-OFF loop.
+	Loop = core.Loop
+	// Subtype is a loop sub-type (S1E1..N2E2).
+	Subtype = core.Subtype
+	// LoopType is a loop type (S1, N1, N2).
+	LoopType = core.LoopType
+	// Form distinguishes persistent from semi-persistent loops.
+	Form = core.Form
+	// CycleMetrics quantifies one ON-OFF cycle.
+	CycleMetrics = core.CycleMetrics
+	// Analysis bundles the loops of one run.
+	Analysis = core.Analysis
+)
+
+// Loop sub-types (§5).
+const (
+	S1E1 = core.S1E1 // SA: SCell never reported
+	S1E2 = core.S1E2 // SA: SCell very poor, no command
+	S1E3 = core.S1E3 // SA: SCell modification failure
+	N1E1 = core.N1E1 // NSA: 4G PCell radio link failure
+	N1E2 = core.N1E2 // NSA: 4G PCell handover failure
+	N2E1 = core.N2E1 // NSA: handover drops the SCG
+	N2E2 = core.N2E2 // NSA: SCG failure handling
+)
+
+// Sequence forms (Fig. 4).
+const (
+	FormNoLoop         = core.FormNoLoop
+	FormPersistent     = core.FormPersistent
+	FormSemiPersistent = core.FormSemiPersistent
+)
+
+// Simulation types.
+type (
+	// Operator is a network operator policy profile (OPT/OPA/OPV).
+	Operator = policy.Operator
+	// Device is a phone capability profile (Table 4).
+	Device = device.Profile
+	// AreaSpec describes a test area (A1–A11).
+	AreaSpec = deploy.AreaSpec
+	// Deployment is an area's synthetic radio deployment.
+	Deployment = deploy.Deployment
+	// Cluster is the calibrated cell neighborhood of one location.
+	Cluster = deploy.Cluster
+	// RunConfig configures one simulated run.
+	RunConfig = uesim.Config
+	// RunResult is a simulated run's signaling capture.
+	RunResult = uesim.Result
+	// Point is a position in an area's local metric frame (meters).
+	Point = geo.Point
+	// StudyOptions scales a measurement study.
+	StudyOptions = campaign.Options
+	// Study is a full multi-area measurement dataset.
+	Study = campaign.Study
+	// Record is one run's analyzed outcome within a study.
+	Record = campaign.Record
+	// ThroughputSample is one download-speed observation.
+	ThroughputSample = throughput.Sample
+)
+
+// Prediction types (§6).
+type (
+	// Model is the fitted loop-probability predictor.
+	Model = core.Model
+	// Combo carries one cellset combination's radio features.
+	Combo = core.Combo
+	// TrainingSample pairs features with a measured loop probability.
+	TrainingSample = core.Sample
+	// FeatureKind selects the model's radio feature.
+	FeatureKind = core.FeatureKind
+)
+
+// Prediction features.
+const (
+	FeatureSCellGap  = core.FeatureSCellGap
+	FeatureWorstRSRP = core.FeatureWorstRSRP
+)
+
+// ParseLog reads an NSG-style signaling log.
+func ParseLog(r io.Reader) (*Log, error) { return sig.Parse(r) }
+
+// ParseLogString reads an NSG-style signaling log from a string.
+func ParseLogString(s string) (*Log, error) { return sig.ParseString(s) }
+
+// ExtractTimeline folds a log into its serving-cell-set timeline
+// (Appendix B methodology).
+func ExtractTimeline(l *Log) *Timeline { return trace.Extract(l) }
+
+// DetectLoops finds every ON-OFF loop in a timeline (Fig. 4).
+func DetectLoops(tl *Timeline) []*Loop { return core.DetectAll(tl) }
+
+// ClassifyLoop determines a loop's sub-type (Figs. 13–15).
+func ClassifyLoop(l *Loop) Subtype { return core.Classify(l) }
+
+// Analyze runs detection and classification together.
+func Analyze(tl *Timeline) Analysis { return core.Analyze(tl) }
+
+// AnalyzeLog parses nothing — it chains extraction and analysis for a
+// log already in hand.
+func AnalyzeLog(l *Log) Analysis { return core.Analyze(trace.Extract(l)) }
+
+// Operators returns the three operator profiles of the study.
+func Operators() []*Operator { return policy.All() }
+
+// OperatorByName returns OPT, OPA or OPV (nil otherwise).
+func OperatorByName(name string) *Operator { return policy.ByName(name) }
+
+// Devices returns the six phone profiles of Table 4.
+func Devices() []*Device { return device.All() }
+
+// DeviceByName returns a phone profile by its Table 4 name.
+func DeviceByName(name string) *Device { return device.ByName(name) }
+
+// At constructs a Point (meters east/north of the area origin).
+func At(x, y float64) Point { return geo.P(x, y) }
+
+// Areas returns the 11 test-area specifications.
+func Areas() []AreaSpec { return deploy.Areas() }
+
+// BuildDeployment constructs an area's synthetic deployment.
+func BuildDeployment(op *Operator, area AreaSpec, seed int64) *Deployment {
+	return deploy.Build(op, area, seed)
+}
+
+// SimulateRun executes one stationary run and returns its signaling
+// capture; analyze it with AnalyzeLog.
+func SimulateRun(cfg RunConfig) *RunResult { return uesim.Run(cfg) }
+
+// RunStudy executes the full measurement study across all areas.
+func RunStudy(opts StudyOptions) *Study { return campaign.Run(opts) }
+
+// ExportStudyCSV writes the study as three CSV tables (runs, loop
+// cycles, locations) into the given writers; pass nil to skip a table.
+// The format mirrors the paper's released dataset.
+func ExportStudyCSV(st *Study, runs, loops, locations io.Writer) error {
+	if runs != nil {
+		if err := st.WriteRunsCSV(runs); err != nil {
+			return err
+		}
+	}
+	if loops != nil {
+		if err := st.WriteLoopsCSV(loops); err != nil {
+			return err
+		}
+	}
+	if locations != nil {
+		if err := st.WriteLocationsCSV(locations); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateThroughput models the download-speed series of a run.
+func GenerateThroughput(tl *Timeline, op *Operator, seed int64) []ThroughputSample {
+	return throughput.Generate(tl, op, seed)
+}
+
+// FitModel trains the §6 loop-probability model by MSE minimization.
+func FitModel(samples []TrainingSample, feature FeatureKind) *Model {
+	return core.Fit(samples, feature)
+}
+
+// Experiment regenerates one of the paper's tables or figures by ID
+// (e.g. "fig6", "table5"); see ExperimentIDs for the catalogue. The
+// options scale the underlying study; the zero value reproduces the
+// full-size experiment.
+func Experiment(id string, opts StudyOptions) ([]string, map[string]float64, bool) {
+	g, ok := experiments.ByID(id)
+	if !ok {
+		return nil, nil, false
+	}
+	res := g.Run(experiments.NewContext(opts))
+	return res.Lines, res.Values, true
+}
+
+// ExperimentResult is one regenerated table or figure.
+type ExperimentResult struct {
+	ID     string
+	Title  string
+	Lines  []string
+	Values map[string]float64
+}
+
+// Experiments regenerates several tables/figures sharing one underlying
+// study dataset (much cheaper than repeated Experiment calls). Unknown
+// IDs are skipped. Passing nil runs everything in presentation order.
+func Experiments(ids []string, opts StudyOptions) []ExperimentResult {
+	ctx := experiments.NewContext(opts)
+	var gens []experiments.Generator
+	if ids == nil {
+		gens = experiments.All()
+	} else {
+		for _, id := range ids {
+			if g, ok := experiments.ByID(id); ok {
+				gens = append(gens, g)
+			}
+		}
+	}
+	out := make([]ExperimentResult, 0, len(gens))
+	for _, g := range gens {
+		res := g.Run(ctx)
+		out = append(out, ExperimentResult{ID: g.ID, Title: g.Title, Lines: res.Lines, Values: res.Values})
+	}
+	return out
+}
+
+// ExperimentIDs lists every reproducible table/figure ID with a title.
+func ExperimentIDs() map[string]string {
+	out := map[string]string{}
+	for _, g := range experiments.All() {
+		out[g.ID] = g.Title
+	}
+	return out
+}
+
+// DefaultRunDuration is the stationary-run length of the study (§4.1).
+const DefaultRunDuration = 5 * time.Minute
