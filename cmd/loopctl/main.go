@@ -22,7 +22,10 @@ import (
 	"github.com/mssn/loopscope"
 )
 
-var jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+var (
+	jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	lenient = flag.Bool("lenient", false, "salvage a damaged capture: quarantine malformed records and report what was dropped")
+)
 
 func main() {
 	flag.Usage = usage
@@ -61,7 +64,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `loopctl — 5G ON-OFF loop analyzer
 
-usage (add -json before the subcommand for machine-readable output):
+usage (add -json before the subcommand for machine-readable output;
+add -lenient to salvage corrupted captures instead of aborting):
   loopctl analyze <logfile|->   analyze an NSG-style signaling log
   loopctl demo                  generate and analyze a sample loop run
   loopctl export <file>         write a simulated loop capture to a file
@@ -119,7 +123,9 @@ func export(path string) error {
 	return nil
 }
 
-// analyze parses and reports one log file.
+// analyze parses and reports one log file. With -lenient the capture is
+// salvaged: malformed records are quarantined and summarized instead of
+// aborting the analysis.
 func analyze(path string) error {
 	var r io.Reader = os.Stdin
 	if path != "-" {
@@ -129,6 +135,14 @@ func analyze(path string) error {
 		}
 		defer f.Close()
 		r = f
+	}
+	if *lenient {
+		log, sal, err := loopscope.ParseLogLenient(r)
+		if err != nil {
+			return err
+		}
+		reportWithSalvage(log, sal)
+		return nil
 	}
 	log, err := loopscope.ParseLog(r)
 	if err != nil {
@@ -159,9 +173,19 @@ func demo() error {
 type jsonReport struct {
 	Events    int           `json:"events"`
 	DurationS float64       `json:"duration_s"`
+	Salvage   *jsonSalvage  `json:"salvage,omitempty"`
 	Occupancy jsonOccupancy `json:"occupancy"`
 	Steps     []jsonStep    `json:"steps"`
 	Loops     []jsonLoop    `json:"loops"`
+}
+
+// jsonSalvage mirrors the lenient-parse report.
+type jsonSalvage struct {
+	EventsKept     int      `json:"events_kept"`
+	RecordsDropped int      `json:"records_dropped"`
+	LinesSkipped   int      `json:"lines_skipped"`
+	KeptRatio      float64  `json:"kept_ratio"`
+	Errors         []string `json:"errors,omitempty"`
 }
 
 type jsonOccupancy struct {
@@ -192,7 +216,7 @@ type jsonLoop struct {
 }
 
 // reportJSON writes the analysis as JSON.
-func reportJSON(log *loopscope.Log) {
+func reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 	tl := loopscope.ExtractTimeline(log)
 	a := loopscope.Analyze(tl)
 	occ := tl.Occupy()
@@ -204,6 +228,18 @@ func reportJSON(log *loopscope.Log) {
 			NSAS: occ.NSA.Seconds(), LTES: occ.LTE.Seconds(),
 			Swings: occ.Swings,
 		},
+	}
+	if sal != nil {
+		js := &jsonSalvage{
+			EventsKept:     sal.EventsKept,
+			RecordsDropped: sal.RecordsDropped,
+			LinesSkipped:   sal.LinesSkipped,
+			KeptRatio:      sal.KeptRatio(),
+		}
+		for _, pe := range sal.Errors {
+			js.Errors = append(js.Errors, pe.Error())
+		}
+		doc.Salvage = js
 	}
 	for _, s := range tl.Steps {
 		js := jsonStep{AtS: s.At.Seconds(), State: s.Set.State().String(), Set: s.Set.String()}
@@ -234,10 +270,26 @@ func reportJSON(log *loopscope.Log) {
 }
 
 // report prints the analysis of a parsed log.
-func report(log *loopscope.Log) {
+func report(log *loopscope.Log) { reportWithSalvage(log, nil) }
+
+// reportWithSalvage prints the analysis, prefixed by the salvage
+// summary when the capture went through lenient parsing.
+func reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
 	if *jsonOut {
-		reportJSON(log)
+		reportJSON(log, sal)
 		return
+	}
+	if sal != nil {
+		fmt.Println(sal.Summary())
+		const maxShown = 5
+		for i, pe := range sal.Errors {
+			if i == maxShown {
+				fmt.Printf("  ... (%d more quarantined records)\n", len(sal.Errors)-maxShown)
+				break
+			}
+			fmt.Printf("  quarantined %v\n", pe)
+		}
+		fmt.Println()
 	}
 	tl := loopscope.ExtractTimeline(log)
 	occ := tl.Occupy()

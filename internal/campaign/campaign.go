@@ -7,19 +7,33 @@
 package campaign
 
 import (
+	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"github.com/mssn/loopscope/internal/core"
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/device"
+	"github.com/mssn/loopscope/internal/faults"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/throughput"
 	"github.com/mssn/loopscope/internal/trace"
 	"github.com/mssn/loopscope/internal/uesim"
 )
+
+// MinRunScale is the smallest accepted run scale. Invalid values
+// (negative or NaN) are coerced to it rather than silently misbehaving;
+// at this scale every location executes exactly one run.
+const MinRunScale = 1.0 / (1 << 20)
+
+// DefaultMaxRetries bounds how often a failed (panicked) run is
+// re-attempted with a perturbed seed before its failure record sticks.
+const DefaultMaxRetries = 1
 
 // Options scales the study. The zero value gives the full default
 // study; tests use reduced RunScale and Duration.
@@ -28,13 +42,23 @@ type Options struct {
 	Seed int64
 	// Duration of each stationary run (default 5 minutes, §4.1).
 	Duration time.Duration
-	// RunScale multiplies the per-area run counts (default 1.0).
+	// RunScale multiplies the per-area run counts (default 1.0;
+	// negative or NaN values are coerced to MinRunScale).
 	RunScale float64
 	// Device is the test phone (default OnePlus 12R).
 	Device *device.Profile
 	// KeepSpeeds records the per-second throughput series (needed for
 	// Fig. 1b/11; off by default to keep memory flat).
 	KeepSpeeds bool
+	// FaultRates, when non-nil, routes every run's capture through a
+	// seeded faults.Injector and the salvage pipeline: the emitted log
+	// is corrupted, re-parsed with sig.ParseLenient and analyzed from
+	// whatever survived, mirroring how real damaged captures are
+	// ingested. Each record carries its Salvage report.
+	FaultRates *faults.Rates
+	// MaxRetries bounds the retries of a failed run (default
+	// DefaultMaxRetries; negative disables retries).
+	MaxRetries int
 }
 
 // withDefaults fills in the zero values.
@@ -42,11 +66,19 @@ func (o Options) withDefaults() Options {
 	if o.Duration == 0 {
 		o.Duration = 5 * time.Minute
 	}
+	if o.RunScale < 0 || math.IsNaN(o.RunScale) {
+		o.RunScale = MinRunScale
+	}
 	if o.RunScale == 0 {
 		o.RunScale = 1
 	}
 	if o.Device == nil {
 		o.Device = device.OnePlus12R()
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
 	}
 	return o
 }
@@ -65,10 +97,24 @@ type Record struct {
 	Analysis  core.Analysis
 	Speeds    []throughput.Sample
 	MeasCount int // individual RSRP/RSRQ values reported (Table 3)
+
+	// Salvage reports what lenient parsing recovered when the run's
+	// capture went through fault injection (nil otherwise).
+	Salvage *sig.Salvage
+	// Err and Stack describe a run that panicked instead of completing;
+	// such a failure record keeps the study alive and countable.
+	Err   string
+	Stack string
+	// Attempts is how many executions this record took (1 for a clean
+	// first run; retries increment it).
+	Attempts int
 }
 
 // HasLoop reports whether the run contained an ON-OFF loop.
 func (r *Record) HasLoop() bool { return r.Analysis.HasLoop() }
+
+// Failed reports whether the run panicked and carries no analysis.
+func (r *Record) Failed() bool { return r.Err != "" }
 
 // Form returns the run's sequence form (Fig. 4). A run is persistent
 // when it *ends* inside a loop, so the last detected loop's form
@@ -104,22 +150,38 @@ func (a *AreaResult) LocationRecords() [][]*Record {
 }
 
 // LoopLikelihood returns the per-location loop likelihood (Fig. 8).
+// Failed runs are excluded from the denominator: a crashed capture is
+// missing data, not a no-loop observation.
 func (a *AreaResult) LoopLikelihood() []float64 {
 	locs := a.LocationRecords()
 	out := make([]float64, len(locs))
 	for i, recs := range locs {
-		if len(recs) == 0 {
-			continue
-		}
-		n := 0
+		n, ok := 0, 0
 		for _, r := range recs {
+			if r.Failed() {
+				continue
+			}
+			ok++
 			if r.HasLoop() {
 				n++
 			}
 		}
-		out[i] = float64(n) / float64(len(recs))
+		if ok > 0 {
+			out[i] = float64(n) / float64(ok)
+		}
 	}
 	return out
+}
+
+// Failures counts the area's runs that ended in a failure record.
+func (a *AreaResult) Failures() int {
+	n := 0
+	for _, r := range a.Records {
+		if r.Failed() {
+			n++
+		}
+	}
+	return n
 }
 
 // Study is the full multi-operator dataset.
@@ -196,11 +258,57 @@ func RunArea(op *policy.Operator, spec deploy.AreaSpec, opts Options) *AreaResul
 }
 
 // ExecuteRun performs a single run and post-processes it through the
-// full analysis pipeline.
+// full analysis pipeline. A run that panics does not tear down the
+// study: the panic is captured into a failure Record (with error and
+// stack), and the run is retried up to Options.MaxRetries times with a
+// perturbed seed before the failure sticks.
 func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	locIdx, runIdx int, opts Options) *Record {
 	opts = opts.withDefaults()
-	seed := opts.Seed*1_000_003 + int64(locIdx)*7919 + int64(runIdx)*104729 + int64(deployHash(dep.Area.ID))
+	rec := runOnce(op, dep, cl, locIdx, runIdx, 0, opts)
+	for attempt := 1; rec.Failed() && attempt <= opts.MaxRetries; attempt++ {
+		retry := runOnce(op, dep, cl, locIdx, runIdx, attempt, opts)
+		retry.Attempts = attempt + 1
+		rec = retry
+	}
+	return rec
+}
+
+// testHookPanic, when set by a test, forces a run attempt to panic —
+// the only way to exercise the recovery path deterministically.
+var testHookPanic func(area string, locIdx, runIdx, attempt int) bool
+
+// runOnce executes one attempt of a run under panic isolation.
+func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
+	locIdx, runIdx, attempt int, opts Options) (rec *Record) {
+	rec = &Record{
+		Op:       op.Name,
+		Area:     dep.Area.ID,
+		City:     dep.Area.City,
+		LocIndex: locIdx,
+		RunIndex: runIdx,
+		Device:   opts.Device.Name,
+		Arch:     cl.Arch,
+		Attempts: 1,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			rec.Err = fmt.Sprint(p)
+			rec.Stack = string(debug.Stack())
+			rec.Timeline = nil
+			rec.Analysis = core.Analysis{}
+			rec.Speeds = nil
+			rec.MeasCount = 0
+			rec.Salvage = nil
+		}
+	}()
+	if testHookPanic != nil && testHookPanic(dep.Area.ID, locIdx, runIdx, attempt) {
+		panic("injected test failure")
+	}
+	// Retries perturb the seed so a deterministic crash input is not
+	// replayed verbatim.
+	seed := opts.Seed*1_000_003 + int64(locIdx)*7919 + int64(runIdx)*104729 +
+		int64(deployHash(dep.Area.ID)) + int64(attempt)*1_000_000_007
 	result := uesim.Run(uesim.Config{
 		Op:       op,
 		Field:    dep.Field,
@@ -209,19 +317,20 @@ func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		Duration: opts.Duration,
 		Seed:     seed,
 	})
-	tl := trace.Extract(result.Log)
-	rec := &Record{
-		Op:       op.Name,
-		Area:     dep.Area.ID,
-		City:     dep.Area.City,
-		LocIndex: locIdx,
-		RunIndex: runIdx,
-		Device:   opts.Device.Name,
-		Arch:     cl.Arch,
-		Timeline: tl,
-		Analysis: core.Analyze(tl),
+	log := result.Log
+	if opts.FaultRates != nil {
+		inj := faults.New(seed+2, *opts.FaultRates)
+		salvaged, sal, err := sig.ParseLenientString(inj.Corrupt(log.String()))
+		if err != nil {
+			panic(err) // string reader cannot fail; recovered above if it somehow does
+		}
+		log = salvaged
+		rec.Salvage = sal
 	}
-	for _, e := range result.Log.Events {
+	tl := trace.FromLog(log)
+	rec.Timeline = tl
+	rec.Analysis = core.Analyze(tl)
+	for _, e := range log.Events {
 		if mr, ok := e.Msg.(rrc.MeasReport); ok {
 			rec.MeasCount += len(mr.Entries)
 		}
@@ -264,20 +373,46 @@ func (s *Study) AreaByID(id string) *AreaResult {
 	return nil
 }
 
-// FormCounts tallies sequence forms for an operator (Fig. 6).
+// Failures counts runs across the study that ended in failure records.
+func (s *Study) Failures() int {
+	n := 0
+	for _, a := range s.Areas {
+		n += a.Failures()
+	}
+	return n
+}
+
+// FailedRecords returns every failure record for inspection (error and
+// stack preserved).
+func (s *Study) FailedRecords() []*Record {
+	var out []*Record
+	for _, r := range s.Records("") {
+		if r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FormCounts tallies sequence forms for an operator (Fig. 6). Failed
+// runs carry no sequence and are not counted.
 func (s *Study) FormCounts(op string) map[core.Form]int {
 	out := map[core.Form]int{}
 	for _, r := range s.Records(op) {
+		if r.Failed() {
+			continue
+		}
 		out[r.Form()]++
 	}
 	return out
 }
 
-// SubtypeCounts tallies loop sub-types for an operator or area.
+// SubtypeCounts tallies loop sub-types for an operator or area. Failed
+// runs never report loops, so they naturally drop out.
 func SubtypeCounts(records []*Record) map[core.Subtype]int {
 	out := map[core.Subtype]int{}
 	for _, r := range records {
-		if r.HasLoop() {
+		if !r.Failed() && r.HasLoop() {
 			out[r.Subtype()]++
 		}
 	}

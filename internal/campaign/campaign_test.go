@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"encoding/csv"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/core"
 	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/faults"
 	"github.com/mssn/loopscope/internal/policy"
 )
 
@@ -297,5 +299,125 @@ func TestCrossSeedStability(t *testing.T) {
 		if c := SubtypeCounts(st.Records("OPV")); c[core.N1E2] != 0 {
 			t.Errorf("seed %d: OPV shows N1E2", seed)
 		}
+	}
+}
+
+// TestRunScaleValidation pins what invalid scales mean: negative and
+// NaN coerce to MinRunScale, which executes exactly one run per
+// location instead of silently misbehaving.
+func TestRunScaleValidation(t *testing.T) {
+	for _, bad := range []float64{-3, math.NaN()} {
+		o := Options{RunScale: bad}.withDefaults()
+		if o.RunScale != MinRunScale {
+			t.Errorf("RunScale %v normalized to %v, want MinRunScale", bad, o.RunScale)
+		}
+	}
+	if o := (Options{}).withDefaults(); o.RunScale != 1 {
+		t.Errorf("zero RunScale should default to 1, got %v", o.RunScale)
+	}
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1] // A2: 6 locations
+	res := RunArea(op, spec, Options{Seed: 42, Duration: 30 * time.Second, RunScale: -1})
+	if len(res.Records) != 6 {
+		t.Errorf("invalid RunScale area = %d records, want 1 per location (6)", len(res.Records))
+	}
+}
+
+// TestRunPanicIsolated: a panicking run yields a failure record with
+// error and stack instead of tearing down the area, and the failure
+// counters see it.
+func TestRunPanicIsolated(t *testing.T) {
+	testHookPanic = func(area string, locIdx, runIdx, attempt int) bool {
+		return locIdx == 1 && runIdx == 0 // fails every attempt
+	}
+	defer func() { testHookPanic = nil }()
+
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1]
+	opts := Options{Seed: 42, Duration: 30 * time.Second, RunScale: -1}
+	res := RunArea(op, spec, opts)
+
+	if got := res.Failures(); got != 1 {
+		t.Fatalf("Failures() = %d, want 1", got)
+	}
+	var failed *Record
+	for _, r := range res.Records {
+		if r.Failed() {
+			failed = r
+		} else if r.Timeline == nil {
+			t.Error("healthy record lost its timeline")
+		}
+	}
+	if failed == nil {
+		t.Fatal("no failure record kept")
+	}
+	if failed.Err != "injected test failure" || !strings.Contains(failed.Stack, "runOnce") {
+		t.Errorf("failure record = err %q, stack has runOnce: %v",
+			failed.Err, strings.Contains(failed.Stack, "runOnce"))
+	}
+	if failed.Attempts != 1+DefaultMaxRetries {
+		t.Errorf("Attempts = %d, want %d (initial + retries)", failed.Attempts, 1+DefaultMaxRetries)
+	}
+	if failed.HasLoop() || failed.Form() != core.FormNoLoop {
+		t.Error("failure record must not report loops")
+	}
+	// Failure-aware aggregates: the failed location's likelihood
+	// denominator shrinks instead of counting the crash as no-loop.
+	if lik := res.LoopLikelihood(); len(lik) != 6 {
+		t.Errorf("likelihood entries = %d", len(lik))
+	}
+}
+
+// TestRunRetryRecovers: a run that fails only on its first attempt is
+// retried with a perturbed seed and completes cleanly.
+func TestRunRetryRecovers(t *testing.T) {
+	testHookPanic = func(area string, locIdx, runIdx, attempt int) bool {
+		return attempt == 0
+	}
+	defer func() { testHookPanic = nil }()
+
+	op := policy.OPT()
+	dep := deploy.Build(op, deploy.AreasFor("OPT")[1], 43)
+	rec := ExecuteRun(op, dep, dep.Clusters[0], 0, 0, Options{Seed: 42, Duration: 30 * time.Second})
+	if rec.Failed() {
+		t.Fatalf("retry should have recovered: %s", rec.Err)
+	}
+	if rec.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", rec.Attempts)
+	}
+	if rec.Timeline == nil || len(rec.Timeline.Steps) == 0 {
+		t.Error("recovered record missing its timeline")
+	}
+}
+
+// TestRunAreaWithFaultInjection is the end-to-end salvage guarantee: a
+// seeded fault profile routed through the campaign completes with
+// salvage reports (and possibly failure records) instead of panicking.
+func TestRunAreaWithFaultInjection(t *testing.T) {
+	rates := faults.Profile(0.05)
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1]
+	opts := Options{Seed: 42, Duration: 60 * time.Second, RunScale: -1, FaultRates: &rates}
+	res := RunArea(op, spec, opts)
+
+	if len(res.Records) != 6 {
+		t.Fatalf("records = %d, want 6", len(res.Records))
+	}
+	kept, total := 0, 0
+	for _, r := range res.Records {
+		if r.Failed() {
+			continue // a catastrophically damaged run is allowed to fail
+		}
+		if r.Salvage == nil {
+			t.Fatal("fault-injected record missing its salvage report")
+		}
+		if r.Timeline == nil {
+			t.Fatal("salvaged record missing its timeline")
+		}
+		kept += r.Salvage.EventsKept
+		total += r.Salvage.EventsKept + r.Salvage.RecordsDropped
+	}
+	if total == 0 || float64(kept)/float64(total) < 0.5 {
+		t.Errorf("salvage kept %d/%d recognized records — implausibly low", kept, total)
 	}
 }

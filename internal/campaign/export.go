@@ -25,17 +25,24 @@ func (s *Study) WriteRunsCSV(w io.Writer) error {
 	}
 	for _, a := range s.Areas {
 		for _, r := range a.Records {
-			sub := ""
-			if r.HasLoop() {
-				sub = r.Subtype().String()
+			sub, form, steps := "", formLabel(r.Form()), 0
+			if r.Failed() {
+				// A crashed run still gets a row — downstream consumers
+				// see the gap instead of a silently shrunken dataset.
+				form = "failed"
+			} else {
+				steps = len(r.Timeline.Steps)
+				if r.HasLoop() {
+					sub = r.Subtype().String()
+				}
 			}
 			rec := []string{
 				r.Op, r.Area, r.City,
 				strconv.Itoa(r.LocIndex), strconv.Itoa(r.RunIndex),
 				r.Device, r.Arch.String(),
-				formLabel(r.Form()), sub,
+				form, sub,
 				strconv.Itoa(len(r.Analysis.Loops)),
-				strconv.Itoa(len(r.Timeline.Steps)),
+				strconv.Itoa(steps),
 				strconv.Itoa(r.MeasCount),
 			}
 			if err := cw.Write(rec); err != nil {

@@ -163,6 +163,7 @@ func All() []Generator {
 		{"apps", "§7 — loops across application workloads", AppsExperiment},
 		{"ablation-sticky", "Ablation — camping stickiness vs loop persistence", StickinessAblation},
 		{"mitigation", "Q3 — per-cause mitigations", MitigationStudy},
+		{"robustness", "Q4 — loop detection under capture corruption", Robustness},
 	}
 }
 

@@ -398,3 +398,27 @@ func TestMitigations(t *testing.T) {
 		t.Errorf("N2E2 recovery fix: OFF %vs → %vs, want a large drop", b, a)
 	}
 }
+
+// TestFindingRobustness — the detection pipeline degrades gracefully
+// under capture corruption: perfect agreement on clean captures, high
+// recall with no false loops at a 5% fault rate, and a kept-events
+// ratio that falls monotonically with the corruption rate.
+func TestFindingRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale study")
+	}
+	if v := val(t, "robustness", "recall_0pct"); v != 1 {
+		t.Errorf("clean captures must reproduce the truth exactly, recall = %.3f", v)
+	}
+	if v := val(t, "robustness", "precision_0pct"); v != 1 {
+		t.Errorf("clean captures must reproduce the truth exactly, precision = %.3f", v)
+	}
+	between(t, "recall at 5% corruption", val(t, "robustness", "recall_5pct"), 0.7, 1)
+	between(t, "precision at 5% corruption", val(t, "robustness", "precision_5pct"), 0.7, 1)
+	between(t, "events kept at 5%", val(t, "robustness", "kept_5pct"), 0.85, 1)
+	k5, k20 := val(t, "robustness", "kept_5pct"), val(t, "robustness", "kept_20pct")
+	if k20 >= k5 {
+		t.Errorf("kept ratio should fall with corruption: 5%% → %.3f, 20%% → %.3f", k5, k20)
+	}
+	between(t, "accuracy at 20% corruption", val(t, "robustness", "accuracy_20pct"), 0.5, 1)
+}

@@ -2,6 +2,7 @@ package sig
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -29,14 +30,91 @@ func (e *ParseError) Error() string {
 // Unwrap returns the underlying cause.
 func (e *ParseError) Unwrap() error { return e.Err }
 
+// maxLineBytes caps a single log line; anything longer is a capture
+// artifact (binary junk flushed into the text stream), never a valid
+// record.
+const maxLineBytes = 4 * 1024 * 1024
+
+// ErrLineTooLong marks a line exceeding maxLineBytes. Strict Parse
+// wraps it in a ParseError carrying the line number and a prefix of the
+// offender; ParseLenient skips the line and resyncs.
+var ErrLineTooLong = errors.New("line exceeds 4 MiB limit")
+
+// maxSalvageErrors bounds the detail kept per salvage report; the
+// counters keep counting past the cap.
+const maxSalvageErrors = 64
+
+// Salvage reports what lenient parsing kept and what it had to discard
+// from a damaged capture.
+type Salvage struct {
+	// EventsKept is the number of events recovered into the Log.
+	EventsKept int
+	// RecordsDropped counts recognized records whose details failed to
+	// build a message and were quarantined.
+	RecordsDropped int
+	// LinesSkipped counts discarded lines: foreign/unrecognized
+	// records, orphaned detail lines and oversized lines.
+	LinesSkipped int
+	// Errors holds the first maxSalvageErrors quarantine causes.
+	Errors []*ParseError
+}
+
+// note files a quarantine cause, respecting the detail cap.
+func (s *Salvage) note(pe *ParseError) {
+	if len(s.Errors) < maxSalvageErrors {
+		s.Errors = append(s.Errors, pe)
+	}
+}
+
+// Clean reports whether the capture parsed without any salvage action.
+func (s *Salvage) Clean() bool { return s.RecordsDropped == 0 && s.LinesSkipped == 0 }
+
+// KeptRatio is the share of recognized records that survived.
+func (s *Salvage) KeptRatio() float64 {
+	total := s.EventsKept + s.RecordsDropped
+	if total == 0 {
+		return 1
+	}
+	return float64(s.EventsKept) / float64(total)
+}
+
+// Summary renders the one-line salvage report loopctl prints.
+func (s *Salvage) Summary() string {
+	return fmt.Sprintf("salvage: %d events kept, %d records dropped, %d lines skipped (%.1f%% of records recovered)",
+		s.EventsKept, s.RecordsDropped, s.LinesSkipped, 100*s.KeptRatio())
+}
+
 // Parse reads an NSG-style log back into a Log. Lines that are neither
 // a recognizable header nor an indented detail line are skipped (real
 // captures interleave unrelated records); malformed details of a
 // recognized message are an error.
 func Parse(r io.Reader) (*Log, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	log, _, err := parse(r, false)
+	return log, err
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Log, error) { return Parse(strings.NewReader(s)) }
+
+// ParseLenient reads a possibly corrupted NSG-style log, quarantining
+// malformed records instead of aborting: a record whose details fail to
+// build is dropped into the Salvage report and parsing resyncs at the
+// next header. The error is non-nil only when the reader itself fails;
+// arbitrary text content never errors.
+func ParseLenient(r io.Reader) (*Log, *Salvage, error) {
+	return parse(r, true)
+}
+
+// ParseLenientString is ParseLenient over a string.
+func ParseLenientString(s string) (*Log, *Salvage, error) {
+	return ParseLenient(strings.NewReader(s))
+}
+
+// parse is the shared strict/lenient parsing loop.
+func parse(r io.Reader, lenient bool) (*Log, *Salvage, error) {
+	lr := &lineReader{br: bufio.NewReaderSize(r, 64*1024), max: maxLineBytes}
 	log := &Log{}
+	sal := &Salvage{}
 	var (
 		cur     *rawEvent
 		lineNum int
@@ -47,45 +125,123 @@ func Parse(r io.Reader) (*Log, error) {
 		}
 		msg, err := buildMessage(cur)
 		if err != nil {
-			return &ParseError{Line: cur.line, Text: cur.header, Err: err}
+			pe := &ParseError{Line: cur.line, Text: cur.header, Err: err}
+			cur = nil
+			if !lenient {
+				return pe
+			}
+			sal.RecordsDropped++
+			sal.note(pe)
+			return nil
 		}
 		log.Append(cur.at, msg)
 		cur = nil
 		return nil
 	}
-	for sc.Scan() {
+	for {
+		line, tooLong, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err // reader failure, not capture damage
+		}
 		lineNum++
-		line := sc.Text()
+		if tooLong {
+			pe := &ParseError{Line: lineNum, Text: line[:80] + "…", Err: ErrLineTooLong}
+			if !lenient {
+				return nil, nil, pe
+			}
+			// An oversized indented line claims to belong to the
+			// current record: its content is untrustworthy, so the
+			// record is quarantined and parsing resyncs at the next
+			// header. An oversized foreign line is just skipped.
+			sal.LinesSkipped++
+			sal.note(pe)
+			if cur != nil && strings.HasPrefix(line, "  ") {
+				sal.RecordsDropped++
+				cur = nil
+			}
+			continue
+		}
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
 		if strings.HasPrefix(line, "  ") {
 			if cur != nil {
 				cur.details = append(cur.details, strings.TrimSpace(line))
+			} else if lenient {
+				sal.LinesSkipped++ // orphaned detail, nothing to attach to
 			}
 			continue
 		}
 		hdr, ok := parseHeader(line)
 		if !ok {
+			if lenient {
+				sal.LinesSkipped++
+			}
 			continue // foreign record; tolerate
 		}
 		if err := flush(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		hdr.line = lineNum
 		cur = hdr
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
 	if err := flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return log, nil
+	sal.EventsKept = log.Len()
+	return log, sal, nil
 }
 
-// ParseString is Parse over a string.
-func ParseString(s string) (*Log, error) { return Parse(strings.NewReader(s)) }
+// lineReader yields '\n'-terminated lines with a hard length cap,
+// reporting — rather than failing on — oversized lines so the caller
+// can resync. This is what lets lenient parsing survive binary junk
+// that bufio.Scanner would abort on (losing every event after it).
+type lineReader struct {
+	br  *bufio.Reader
+	max int
+}
+
+// next returns the following line without its terminator. When the line
+// exceeds max bytes, the prefix is returned with tooLong=true and the
+// remainder is discarded.
+func (lr *lineReader) next() (line string, tooLong bool, err error) {
+	var buf []byte
+	for {
+		chunk, err := lr.br.ReadSlice('\n')
+		if !tooLong {
+			if len(buf)+len(chunk) > lr.max {
+				keep := lr.max - len(buf)
+				buf = append(buf, chunk[:keep]...)
+				tooLong = true
+			} else {
+				buf = append(buf, chunk...)
+			}
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue // line spans the read buffer; keep draining
+		case nil:
+			return trimEOL(buf), tooLong, nil
+		case io.EOF:
+			if len(buf) == 0 {
+				return "", false, io.EOF
+			}
+			return trimEOL(buf), tooLong, nil
+		default:
+			return trimEOL(buf), tooLong, err
+		}
+	}
+}
+
+// trimEOL strips a trailing "\n" or "\r\n".
+func trimEOL(b []byte) string {
+	s := string(b)
+	s = strings.TrimSuffix(s, "\n")
+	return strings.TrimSuffix(s, "\r")
+}
 
 // rawEvent is a header plus its accumulated detail lines.
 type rawEvent struct {

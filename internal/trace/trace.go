@@ -236,17 +236,33 @@ type extractor struct {
 
 // Extract folds a signaling log into a timeline. The timeline always
 // starts with an IDLE step at t=0.
-func Extract(log *sig.Log) *Timeline {
+func Extract(log *sig.Log) *Timeline { return FromLog(log) }
+
+// FromLog folds a signaling log into a timeline, tolerating the clock
+// artifacts of salvaged captures: when an event's timestamp regresses
+// (a logger restart reset the clock, or a jump moved it backwards), the
+// stream is re-anchored at the latest observed time and subsequent
+// offsets stay monotonic. Clean captures are untouched — the resync
+// offset stays zero.
+func FromLog(log *sig.Log) *Timeline {
 	ex := &extractor{
 		scellIndex: make(map[int]cell.Ref),
 		seenInRept: make(map[cell.Ref]bool),
 		lastMeas:   make(map[cell.Ref]rrc.MeasEntry),
 	}
 	ex.push(0, cell.Idle(), Evidence{})
+	var offset, last time.Duration
 	for _, e := range log.Events {
-		ex.handle(e.At, e.Msg)
+		at := e.At + offset
+		if at < last {
+			// Clock went backwards: treat the streams as contiguous.
+			offset += last - at
+			at = last
+		}
+		last = at
+		ex.handle(at, e.Msg)
 	}
-	ex.tl.Duration = log.Duration()
+	ex.tl.Duration = last
 	if ex.tl.Duration < ex.tl.Steps[len(ex.tl.Steps)-1].At {
 		ex.tl.Duration = ex.tl.Steps[len(ex.tl.Steps)-1].At
 	}

@@ -399,3 +399,51 @@ func TestOccupancy(t *testing.T) {
 		t.Error("empty occupancy ratio should be 0")
 	}
 }
+
+// TestFromLogResyncsClockRegression: a salvaged capture whose logger
+// restarted mid-run (timestamps reset to zero) folds into a monotonic
+// timeline with the two segments treated as contiguous.
+func TestFromLogResyncsClockRegression(t *testing.T) {
+	l := &sig.Log{}
+	l.Append(at(10_000), rrc.SetupComplete{Rat: band.RATNR, Cell: ref("393@521310")})
+	l.Append(at(20_000), rrc.Release{Rat: band.RATNR})
+	// Logger restart: the clock regresses to near zero.
+	l.Append(at(1_000), rrc.SetupComplete{Rat: band.RATNR, Cell: ref("393@521310")})
+	l.Append(at(5_000), rrc.Release{Rat: band.RATNR})
+
+	tl := FromLog(l)
+	prev := time.Duration(-1)
+	for i, s := range tl.Steps {
+		if s.At < prev {
+			t.Fatalf("step %d at %v regresses below %v", i, s.At, prev)
+		}
+		prev = s.At
+	}
+	// The second segment re-anchors at 20s: its release lands at 24s.
+	if got := tl.Steps[len(tl.Steps)-1].At; got != 24*time.Second {
+		t.Errorf("final step at %v, want 24s", got)
+	}
+	if tl.Duration != 24*time.Second {
+		t.Errorf("duration = %v, want 24s", tl.Duration)
+	}
+	// Occupancy stays NaN-free and positive despite the regression.
+	occ := tl.Occupy()
+	if occ.On5G() != 14*time.Second {
+		t.Errorf("5G time = %v, want 14s (10s + 4s)", occ.On5G())
+	}
+}
+
+// TestFromLogCleanUnchanged: monotonic captures are untouched by the
+// resync path — Extract and FromLog agree step for step.
+func TestFromLogCleanUnchanged(t *testing.T) {
+	l := s1e3Log(3)
+	tl := FromLog(l)
+	for i := 1; i < len(tl.Steps); i++ {
+		if tl.Steps[i].At < tl.Steps[i-1].At {
+			t.Fatalf("clean log produced non-monotonic steps")
+		}
+	}
+	if tl.Duration != l.Duration() {
+		t.Errorf("duration = %v, want %v", tl.Duration, l.Duration())
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/device"
 	"github.com/mssn/loopscope/internal/experiments"
+	"github.com/mssn/loopscope/internal/faults"
 	"github.com/mssn/loopscope/internal/geo"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/sig"
@@ -137,6 +138,38 @@ func ParseLog(r io.Reader) (*Log, error) { return sig.Parse(r) }
 
 // ParseLogString reads an NSG-style signaling log from a string.
 func ParseLogString(s string) (*Log, error) { return sig.ParseString(s) }
+
+// Salvage reports what lenient parsing kept and discarded from a
+// damaged capture.
+type Salvage = sig.Salvage
+
+// ParseLogLenient reads a possibly corrupted NSG-style log in salvage
+// mode: malformed records are quarantined into the Salvage report and
+// parsing resyncs at the next header instead of aborting. The error is
+// non-nil only when the reader itself fails.
+func ParseLogLenient(r io.Reader) (*Log, *Salvage, error) { return sig.ParseLenient(r) }
+
+// Capture fault injection (testing analysis pipelines against the
+// artifacts of real-world damaged captures).
+type (
+	// FaultRates configures per-fault corruption probabilities.
+	FaultRates = faults.Rates
+	// FaultInjector deterministically corrupts an emitted capture.
+	FaultInjector = faults.Injector
+)
+
+// NewFaultInjector returns a seeded capture-impairment injector.
+func NewFaultInjector(seed int64, rates FaultRates) *FaultInjector {
+	return faults.New(seed, rates)
+}
+
+// UniformFaults spreads one per-line fault budget across the line-level
+// fault classes; FaultProfile adds the structural faults (clock jumps,
+// reordering, logger restarts, truncation) at proportional rates.
+func UniformFaults(rate float64) FaultRates { return faults.Uniform(rate) }
+
+// FaultProfile is the full "field capture" impairment preset.
+func FaultProfile(rate float64) FaultRates { return faults.Profile(rate) }
 
 // ExtractTimeline folds a log into its serving-cell-set timeline
 // (Appendix B methodology).
