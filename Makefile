@@ -1,0 +1,39 @@
+# Developer entry points mirroring .github/workflows/ci.yml.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+# Pinned external linter versions — keep in sync with ci.yml.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build lint loopvet staticcheck vulncheck test fuzz clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint runs the in-repo suite plus go vet; staticcheck/govulncheck are
+# separate targets because they download tools on first use.
+lint: loopvet
+	$(GO) vet ./...
+
+loopvet:
+	$(GO) run ./cmd/loopvet ./...
+
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+test:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/sig
+	$(GO) test -run=NONE -fuzz=FuzzParseLenient$$ -fuzztime=$(FUZZTIME) ./internal/sig
+
+clean:
+	$(GO) clean ./...

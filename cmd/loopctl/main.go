@@ -22,47 +22,65 @@ import (
 	"github.com/mssn/loopscope"
 )
 
-var (
-	jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-	lenient = flag.Bool("lenient", false, "salvage a damaged capture: quarantine malformed records and report what was dropped")
-)
-
 func main() {
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch args[0] {
-	case "analyze":
-		if len(args) != 2 {
-			usage()
-			os.Exit(2)
-		}
-		err = analyze(args[1])
-	case "demo":
-		err = demo()
-	case "export":
-		if len(args) != 2 {
-			usage()
-			os.Exit(2)
-		}
-		err = export(args[1])
-	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loopctl:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `loopctl — 5G ON-OFF loop analyzer
+// app carries one invocation's flags and streams, so tests can drive
+// the full CLI without touching the process state.
+type app struct {
+	jsonOut bool
+	lenient bool
+	stdin   io.Reader
+	stdout  io.Writer
+	stderr  io.Writer
+}
+
+// run is main without the process exit: 0 ok, 1 failure, 2 usage.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	a := &app{stdin: stdin, stdout: stdout, stderr: stderr}
+	fs := flag.NewFlagSet("loopctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&a.jsonOut, "json", false, "emit machine-readable JSON instead of text")
+	fs.BoolVar(&a.lenient, "lenient", false, "salvage a damaged capture: quarantine malformed records and report what was dropped")
+	fs.Usage = func() { a.usage() }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		a.usage()
+		return 2
+	}
+	var err error
+	switch rest[0] {
+	case "analyze":
+		if len(rest) != 2 {
+			a.usage()
+			return 2
+		}
+		err = a.analyze(rest[1])
+	case "demo":
+		err = a.demo()
+	case "export":
+		if len(rest) != 2 {
+			a.usage()
+			return 2
+		}
+		err = a.export(rest[1])
+	default:
+		a.usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "loopctl:", err)
+		return 1
+	}
+	return 0
+}
+
+func (a *app) usage() {
+	fmt.Fprintf(a.stderr, `loopctl — 5G ON-OFF loop analyzer
 
 usage (add -json before the subcommand for machine-readable output;
 add -lenient to salvage corrupted captures instead of aborting):
@@ -99,7 +117,7 @@ func bestLoopSite(dep *loopscope.Deployment) *loopscope.Cluster {
 // export writes a simulated looping capture to a file, giving users a
 // realistic input for `loopctl analyze` and for testing their own
 // tooling against the log format.
-func export(path string) error {
+func (a *app) export(path string) error {
 	op := loopscope.OperatorByName("OPT")
 	dep := loopscope.BuildDeployment(op, loopscope.Areas()[0], 43)
 	cl := bestLoopSite(dep)
@@ -118,7 +136,7 @@ func export(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d events over %s)\n", path, res.Log.Len(),
+	fmt.Fprintf(a.stdout, "wrote %s (%d events over %s)\n", path, res.Log.Len(),
 		res.Log.Duration().Round(time.Second))
 	return nil
 }
@@ -126,8 +144,8 @@ func export(path string) error {
 // analyze parses and reports one log file. With -lenient the capture is
 // salvaged: malformed records are quarantined and summarized instead of
 // aborting the analysis.
-func analyze(path string) error {
-	var r io.Reader = os.Stdin
+func (a *app) analyze(path string) error {
+	r := a.stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -136,25 +154,25 @@ func analyze(path string) error {
 		defer f.Close()
 		r = f
 	}
-	if *lenient {
+	if a.lenient {
 		log, sal, err := loopscope.ParseLogLenient(r)
 		if err != nil {
 			return err
 		}
-		reportWithSalvage(log, sal)
+		a.reportWithSalvage(log, sal)
 		return nil
 	}
 	log, err := loopscope.ParseLog(r)
 	if err != nil {
 		return err
 	}
-	report(log)
+	a.report(log)
 	return nil
 }
 
 // demo simulates one looping run (an S1E3 site on the SA operator) and
 // analyzes it, so the tool is demonstrable without a capture in hand.
-func demo() error {
+func (a *app) demo() error {
 	op := loopscope.OperatorByName("OPT")
 	area := loopscope.Areas()[0]
 	dep := loopscope.BuildDeployment(op, area, 43)
@@ -164,8 +182,8 @@ func demo() error {
 		Op: op, Field: dep.Field, Cluster: cl,
 		Duration: 3 * time.Minute, Seed: 7,
 	})
-	fmt.Printf("simulated 3-minute run at %v (%s, %s)\n\n", cl.Loc, op.Name, op.Mode)
-	report(res.Log)
+	fmt.Fprintf(a.stdout, "simulated 3-minute run at %v (%s, %s)\n\n", cl.Loc, op.Name, op.Mode)
+	a.report(res.Log)
 	return nil
 }
 
@@ -216,9 +234,9 @@ type jsonLoop struct {
 }
 
 // reportJSON writes the analysis as JSON.
-func reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
+func (a *app) reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 	tl := loopscope.ExtractTimeline(log)
-	a := loopscope.Analyze(tl)
+	an := loopscope.Analyze(tl)
 	occ := tl.Occupy()
 	doc := jsonReport{
 		Events:    log.Len(),
@@ -248,7 +266,7 @@ func reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 		}
 		doc.Steps = append(doc.Steps, js)
 	}
-	for i, l := range a.Loops {
+	for i, l := range an.Loops {
 		var on, off time.Duration
 		cycles := l.Cycles()
 		for _, c := range cycles {
@@ -256,7 +274,7 @@ func reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 			off += c.Off
 		}
 		n := time.Duration(len(cycles))
-		sub := a.Subtypes[i]
+		sub := an.Subtypes[i]
 		doc.Loops = append(doc.Loops, jsonLoop{
 			Subtype: sub.String(), Type: sub.Type().String(), Form: l.Form.String(),
 			Fingerprint: l.Fingerprint(), CycleLen: l.CycleLen, Reps: l.Reps,
@@ -264,42 +282,42 @@ func reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 			AvgOnS:    (on / n).Seconds(), AvgOffS: (off / n).Seconds(),
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(a.stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(doc)
 }
 
 // report prints the analysis of a parsed log.
-func report(log *loopscope.Log) { reportWithSalvage(log, nil) }
+func (a *app) report(log *loopscope.Log) { a.reportWithSalvage(log, nil) }
 
 // reportWithSalvage prints the analysis, prefixed by the salvage
 // summary when the capture went through lenient parsing.
-func reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
-	if *jsonOut {
-		reportJSON(log, sal)
+func (a *app) reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
+	if a.jsonOut {
+		a.reportJSON(log, sal)
 		return
 	}
 	if sal != nil {
-		fmt.Println(sal.Summary())
+		fmt.Fprintln(a.stdout, sal.Summary())
 		const maxShown = 5
 		for i, pe := range sal.Errors {
 			if i == maxShown {
-				fmt.Printf("  ... (%d more quarantined records)\n", len(sal.Errors)-maxShown)
+				fmt.Fprintf(a.stdout, "  ... (%d more quarantined records)\n", len(sal.Errors)-maxShown)
 				break
 			}
-			fmt.Printf("  quarantined %v\n", pe)
+			fmt.Fprintf(a.stdout, "  quarantined %v\n", pe)
 		}
-		fmt.Println()
+		fmt.Fprintln(a.stdout)
 	}
 	tl := loopscope.ExtractTimeline(log)
 	occ := tl.Occupy()
-	fmt.Printf("events: %d, duration: %s, cell-set changes: %d\n",
+	fmt.Fprintf(a.stdout, "events: %d, duration: %s, cell-set changes: %d\n",
 		log.Len(), log.Duration().Round(time.Millisecond), len(tl.Steps))
-	fmt.Printf("occupancy: 5G SA %s, 5G NSA %s, 4G-only %s, IDLE %s (5G OFF %.0f%%, %d ON→OFF swings)\n",
+	fmt.Fprintf(a.stdout, "occupancy: 5G SA %s, 5G NSA %s, 4G-only %s, IDLE %s (5G OFF %.0f%%, %d ON→OFF swings)\n",
 		occ.SA.Round(time.Second), occ.NSA.Round(time.Second),
 		occ.LTE.Round(time.Second), occ.Idle.Round(time.Second),
 		100*occ.OffRatio(), occ.Swings)
-	fmt.Println("\nserving cell set timeline:")
+	fmt.Fprintln(a.stdout, "\nserving cell set timeline:")
 	for i, s := range tl.Steps {
 		cause := ""
 		if s.Evidence.Kind.String() != "none" {
@@ -309,21 +327,21 @@ func reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
 					s.Evidence.PendingMod.Released, s.Evidence.PendingMod.Added)
 			}
 		}
-		fmt.Printf("  %3d  t=%-10s %s%s\n", i, s.At.Round(time.Millisecond), s.Set, cause)
+		fmt.Fprintf(a.stdout, "  %3d  t=%-10s %s%s\n", i, s.At.Round(time.Millisecond), s.Set, cause)
 		if i == 30 && len(tl.Steps) > 34 {
-			fmt.Printf("  ... (%d more)\n", len(tl.Steps)-31)
+			fmt.Fprintf(a.stdout, "  ... (%d more)\n", len(tl.Steps)-31)
 			break
 		}
 	}
 
-	a := loopscope.Analyze(tl)
-	if !a.HasLoop() {
-		fmt.Println("\nno 5G ON-OFF loop detected (form I)")
+	an := loopscope.Analyze(tl)
+	if !an.HasLoop() {
+		fmt.Fprintln(a.stdout, "\nno 5G ON-OFF loop detected (form I)")
 		return
 	}
-	fmt.Printf("\ndetected %d loop(s):\n", len(a.Loops))
-	for i, l := range a.Loops {
-		sub := a.Subtypes[i]
+	fmt.Fprintf(a.stdout, "\ndetected %d loop(s):\n", len(an.Loops))
+	for i, l := range an.Loops {
+		sub := an.Subtypes[i]
 		cycles := l.Cycles()
 		var on, off time.Duration
 		for _, c := range cycles {
@@ -331,11 +349,11 @@ func reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
 			off += c.Off
 		}
 		n := time.Duration(len(cycles))
-		fmt.Printf("  loop %d: %v (%s) — cycle of %d sets × %d reps; avg ON %s, OFF %s\n",
+		fmt.Fprintf(a.stdout, "  loop %d: %v (%s) — cycle of %d sets × %d reps; avg ON %s, OFF %s\n",
 			i+1, sub, l.Form, l.CycleLen, l.Reps,
 			(on / n).Round(100*time.Millisecond), (off / n).Round(100*time.Millisecond))
 		for _, k := range l.CycleKeys() {
-			fmt.Printf("         %s\n", k)
+			fmt.Fprintf(a.stdout, "         %s\n", k)
 		}
 	}
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// capture exports one simulated looping capture per test binary and
+// hands every test its path.
+var capture = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "loopctl-test")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "cap.log")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"export", path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		return "", os.ErrInvalid
+	}
+	return path, nil
+})
+
+func capturePath(t *testing.T) string {
+	t.Helper()
+	path, err := capture()
+	if err != nil {
+		t.Fatalf("export fixture: %v", err)
+	}
+	return path
+}
+
+// corruptedCapture clones the capture with one measResult RSRP value
+// mangled, so strict parsing fails on a recognized record's details.
+func corruptedCapture(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(capturePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), "rsrp -", "rsrp x-", 1)
+	if mangled == string(data) {
+		t.Fatal("capture has no rsrp detail to corrupt")
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.log")
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExportAnalyzeRoundTrip(t *testing.T) {
+	path := capturePath(t)
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("export produced no capture: %v", err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"analyze", path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("analyze exit = %d; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"events:", "occupancy:", "detected"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("analyze output is missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAnalyzeStdin(t *testing.T) {
+	data, err := os.ReadFile(capturePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"analyze", "-"}, bytes.NewReader(data), &out, &errOut); code != 0 {
+		t.Fatalf("analyze - exit = %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "detected") {
+		t.Errorf("stdin analysis found no loop:\n%s", out.String())
+	}
+}
+
+// jsonDoc mirrors the fields the tests assert on.
+type jsonDoc struct {
+	Events  int `json:"events"`
+	Salvage *struct {
+		RecordsDropped int `json:"records_dropped"`
+	} `json:"salvage"`
+	Loops []struct {
+		Subtype string `json:"subtype"`
+		Type    string `json:"type"`
+	} `json:"loops"`
+}
+
+func TestAnalyzeJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "analyze", capturePath(t)}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errOut.String())
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Events == 0 || len(doc.Loops) == 0 {
+		t.Errorf("JSON document is empty: %+v", doc)
+	}
+	if doc.Salvage != nil {
+		t.Errorf("strict analysis carries a salvage report: %+v", doc.Salvage)
+	}
+	for _, l := range doc.Loops {
+		if l.Subtype == "" || l.Type == "" {
+			t.Errorf("loop without classification: %+v", l)
+		}
+	}
+}
+
+func TestAnalyzeCorruptedStrict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"analyze", corruptedCapture(t)}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 on a corrupted capture", code)
+	}
+	if !strings.Contains(errOut.String(), "loopctl:") {
+		t.Errorf("stderr is missing the error report: %s", errOut.String())
+	}
+}
+
+func TestAnalyzeCorruptedLenient(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-lenient", "analyze", corruptedCapture(t)}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "salvage:") {
+		t.Errorf("lenient output is missing the salvage summary:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeCorruptedLenientJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-lenient", "-json", "analyze", corruptedCapture(t)}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errOut.String())
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Salvage == nil || doc.Salvage.RecordsDropped == 0 {
+		t.Errorf("lenient JSON is missing the salvage report: %+v", doc.Salvage)
+	}
+}
+
+func TestDemo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"demo"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("demo exit = %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "simulated 3-minute run") {
+		t.Errorf("demo output is missing the banner:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                       // no subcommand
+		{"frobnicate"},            // unknown subcommand
+		{"analyze"},               // missing file
+		{"analyze", "a", "b"},     // too many args
+		{"export"},                // missing file
+		{"-no-such-flag", "demo"}, // unknown flag
+		{"-json"},                 // flag but no subcommand
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, strings.NewReader(""), &out, &errOut); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("run(%q) printed no usage/error text", args)
+		}
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"analyze", filepath.Join(t.TempDir(), "nope.log")}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a missing file", code)
+	}
+}

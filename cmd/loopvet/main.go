@@ -1,0 +1,116 @@
+// Command loopvet runs the repo's custom static-analysis suite — the
+// determinism, layering, exhaustive and floatcmp analyzers — over the
+// module. It is the machine check behind three invariants the compiler
+// cannot see: bit-reproducible replay from a seed, the §4 log-only
+// methodology boundary, and exhaustive handling of the §5 cause
+// taxonomy.
+//
+// Usage:
+//
+//	go run ./cmd/loopvet ./...        lint the whole module
+//	go run ./cmd/loopvet -json ./...  machine-readable findings for CI
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings
+// can be waived in source with
+//
+//	//lint:ignore loopvet/<name> reason
+//
+// on (or directly above) the offending line. See docs/ANALYSIS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"github.com/mssn/loopscope/internal/lint/checkers"
+	"github.com/mssn/loopscope/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so the negative-case tests can
+// drive the real CLI path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loopvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: loopvet [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range checkers.Suite("") {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(stderr, "loopvet:", err)
+		return 2
+	}
+	findings, err := driver.Run(driver.Options{
+		ModulePath: modPath,
+		ModuleRoot: root,
+		Patterns:   fs.Args(),
+		Analyzers:  checkers.Suite(modPath),
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "loopvet:", err)
+		return 2
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []driver.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "loopvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModule walks up from the working directory to go.mod and returns
+// the module root and path.
+func findModule() (string, string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := moduleRE.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("no module directive in %s/go.mod", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the test into dir and restores the working directory at
+// cleanup (findModule resolves the module from the working directory).
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// TestRunSeededRegression drives the real CLI path over the seeded-bad
+// module: CI's gate is this exit code, so a regression must flip it.
+func TestRunSeededRegression(t *testing.T) {
+	bad, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, bad)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"loopvet/determinism", "loopvet/layering", "loopvet/exhaustive", "loopvet/floatcmp"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output is missing a %s finding:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunJSON checks the machine-readable output mode.
+func TestRunJSON(t *testing.T) {
+	bad, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, bad)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 5 {
+		t.Errorf("got %d JSON findings, want 5", len(findings))
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestRunCleanPackage checks the zero exit on a clean package of this
+// module.
+func TestRunCleanPackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/meas"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output: %s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestRunBadFlag checks the usage-error exit code.
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: loopvet") {
+		t.Errorf("stderr is missing usage text: %s", errOut.String())
+	}
+}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/mssn/loopscope"
@@ -26,7 +27,7 @@ func main() {
 		// phone (the OnePlus 12R of the study); for SA pick the most
 		// loop-prone S1E3 site (smallest co-channel gap).
 		cluster := dep.Clusters[0]
-		bestGap := 1e9
+		bestGap := math.Inf(1)
 		for _, cl := range dep.Clusters {
 			switch cl.Arch.String() {
 			case "s1e3":
@@ -42,7 +43,7 @@ func main() {
 					bestGap, cluster = gap, cl
 				}
 			case "n2e1":
-				if bestGap == 1e9 {
+				if math.IsInf(bestGap, 1) {
 					cluster = cl
 				}
 			}

@@ -69,6 +69,7 @@ func (o Options) withDefaults() Options {
 	if o.RunScale < 0 || math.IsNaN(o.RunScale) {
 		o.RunScale = MinRunScale
 	}
+	//lint:ignore loopvet/floatcmp zero is the Options not-set sentinel, assigned verbatim and never computed
 	if o.RunScale == 0 {
 		o.RunScale = 1
 	}

@@ -62,6 +62,8 @@ func formLabel(f core.Form) string {
 	case core.FormSemiPersistent:
 		return "II-SP"
 	default:
+		// FormNoLoop (and any corrupted value) is the paper's form-I
+		// "no loop" dataset label.
 		return "I"
 	}
 }

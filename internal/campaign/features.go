@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"math"
 	"time"
 
 	"github.com/mssn/loopscope/internal/band"
@@ -87,7 +88,7 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 	// The worst-SCell feature (S1E1/S1E2) scans *every* configured
 	// partner of the target anchor — any one of them can be the bad
 	// apple, not just the 387410 one.
-	worst := 0.0
+	worst := math.Inf(1)
 	for _, c := range cl.Cells {
 		if c.RAT != band.RATNR || c.PCI != best.c.PCI || c.Channel == best.c.Channel {
 			continue
@@ -96,11 +97,11 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 			continue
 		}
 		m := d.Field.Median(c, p)
-		if worst == 0 || m.RSRPDBm < worst {
+		if m.RSRPDBm < worst {
 			worst = m.RSRPDBm
 		}
 	}
-	if worst != 0 {
+	if !math.IsInf(worst, 1) {
 		combo.WorstSCellRSRPDBm = worst
 	}
 	return []core.Combo{combo}

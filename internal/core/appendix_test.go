@@ -6,7 +6,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	measpkg "github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/trace"
@@ -21,7 +21,7 @@ import (
 // meas builds a measurement entry.
 func meas(refStr string, role rrc.MeasRole, rsrp, rsrq float64) rrc.MeasEntry {
 	return rrc.MeasEntry{Cell: ref(refStr), Role: role,
-		Meas: radio.Measurement{RSRPDBm: rsrp, RSRQDB: rsrq}}
+		Meas: measpkg.Measurement{RSRPDBm: rsrp, RSRQDB: rsrq}}
 }
 
 // classifyLog runs the full pipeline over a log.
@@ -53,8 +53,8 @@ func TestAppendixFig27S1E1(t *testing.T) {
 				{Index: 3, Cell: ref("540@521310")},
 			},
 			MeasConfig: []rrc.MeasObject{
-				{Channels: []int{387410, 398410, 521310}, Event: radio.A2(radio.QuantityRSRP, -156)},
-				{Channels: []int{387410, 398410, 521310}, Event: radio.A3(radio.QuantityRSRP, 6)},
+				{Channels: []int{387410, 398410, 521310}, Event: measpkg.A2(measpkg.QuantityRSRP, -156)},
+				{Channels: []int{387410, 398410, 521310}, Event: measpkg.A3(measpkg.QuantityRSRP, 6)},
 			},
 		})
 		l.Append(at(base+2625), rrc.ReconfigComplete{Rat: band.RATNR})
@@ -181,8 +181,8 @@ func TestAppendixFig30N1E1(t *testing.T) {
 		l.Append(at(base+500), rrc.Reconfig{Rat: band.RATLTE, Serving: ref("238@5145"),
 			SpCell: &sp, SCGSCells: []cell.Ref{ref("66@658080")},
 			MeasConfig: []rrc.MeasObject{
-				{Channels: []int{5145}, Event: radio.A2(radio.QuantityRSRQ, -19.5)},
-				{Channels: []int{5145}, Event: radio.A3(radio.QuantityRSRQ, 6)},
+				{Channels: []int{5145}, Event: measpkg.A2(measpkg.QuantityRSRQ, -19.5)},
+				{Channels: []int{5145}, Event: measpkg.A3(measpkg.QuantityRSRQ, 6)},
 			}})
 		l.Append(at(base+510), rrc.ReconfigComplete{Rat: band.RATLTE})
 		l.Append(at(base+3492), rrc.MeasReport{Rat: band.RATLTE, Entries: []rrc.MeasEntry{
@@ -223,7 +223,7 @@ func TestAppendixFig31N1E2(t *testing.T) {
 	l.Append(at(100), rrc.SetupComplete{Rat: band.RATLTE, Cell: ref("47@850")})
 	l.Append(at(500), rrc.Reconfig{Rat: band.RATLTE, Serving: ref("47@850"), SpCell: &sp,
 		MeasConfig: []rrc.MeasObject{
-			{Channels: []int{5815}, Event: radio.A5(radio.QuantityRSRP, -118, -120)},
+			{Channels: []int{5815}, Event: measpkg.A5(measpkg.QuantityRSRP, -118, -120)},
 		}})
 	l.Append(at(510), rrc.ReconfigComplete{Rat: band.RATLTE})
 	for c := 0; c < 2; c++ {
@@ -301,8 +301,8 @@ func TestAppendixFig33N2E2(t *testing.T) {
 	l.Append(at(500), rrc.Reconfig{Rat: band.RATLTE, Serving: ref("62@1075"),
 		SpCell: &sp188, SCGSCells: []cell.Ref{ref("188@653952")},
 		MeasConfig: []rrc.MeasObject{
-			{Channels: []int{648672}, Event: radio.A2(radio.QuantityRSRP, -116)},
-			{Channels: []int{648672}, Event: radio.A3(radio.QuantityRSRP, 5)},
+			{Channels: []int{648672}, Event: measpkg.A2(measpkg.QuantityRSRP, -116)},
+			{Channels: []int{648672}, Event: measpkg.A3(measpkg.QuantityRSRP, 5)},
 		}})
 	l.Append(at(510), rrc.ReconfigComplete{Rat: band.RATLTE})
 	for c := 0; c < 2; c++ {
@@ -318,7 +318,7 @@ func TestAppendixFig33N2E2(t *testing.T) {
 		// 30.3 s later: fresh configuration, report, SCG recovery.
 		l.Append(at(base+54074), rrc.Reconfig{Rat: band.RATLTE, Serving: ref("62@1075"),
 			MeasConfig: []rrc.MeasObject{
-				{Channels: []int{648672, 653952}, Event: radio.B1(radio.QuantityRSRP, -115)},
+				{Channels: []int{648672, 653952}, Event: measpkg.B1(measpkg.QuantityRSRP, -115)},
 			}})
 		l.Append(at(base+54084), rrc.ReconfigComplete{Rat: band.RATLTE})
 		l.Append(at(base+54398), rrc.MeasReport{Rat: band.RATLTE, Entries: []rrc.MeasEntry{

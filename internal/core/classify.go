@@ -29,6 +29,8 @@ func (t LoopType) String() string {
 	case TypeN2:
 		return "N2"
 	default:
+		// TypeUnknown (and any corrupted value) renders as the paper's
+		// placeholder for unclassifiable instances.
 		return "?"
 	}
 }
@@ -66,6 +68,8 @@ func (s Subtype) String() string {
 	case N2E2:
 		return "N2E2"
 	default:
+		// SubtypeUnknown and corrupted values print numerically so a
+		// classification gap is visible rather than mislabelled.
 		return fmt.Sprintf("Subtype(%d)", uint8(s))
 	}
 }
@@ -80,6 +84,8 @@ func (s Subtype) Type() LoopType {
 	case N2E1, N2E2:
 		return TypeN2
 	default:
+		// SubtypeUnknown is the only remaining declared value: an
+		// unclassified loop belongs to no Figure-13 FSM.
 		return TypeUnknown
 	}
 }
@@ -119,6 +125,11 @@ func Classify(l *Loop) Subtype {
 			case trace.CauseRRCRelease, trace.CauseReestablishment:
 				unmeasured = unmeasured || len(st.Evidence.UnmeasuredSCells) > 0
 				poor = poor || len(st.Evidence.PoorSCells) > 0
+			case trace.CauseNone, trace.CauseSCGRelease, trace.CauseHandoverNoSCG:
+				// CauseNone carries no failure evidence; the SCG causes
+				// are NSA-only (§5.3) and cannot occur while the master
+				// RAT is NR — an SA cycle classifies on the three S1
+				// triggers above alone.
 			}
 		}
 		if unmeasured {
@@ -148,6 +159,10 @@ func Classify(l *Loop) Subtype {
 			handoverDrop = true
 		case trace.CauseRRCRelease:
 			reachesIdle = true
+		case trace.CauseNone, trace.CauseException:
+			// CauseNone transitions gain or rearrange cells without a
+			// failure; the SCell-modification exception is SA-only
+			// (S1E3, §5.1) and cannot steer an NSA cycle's N1/N2 split.
 		}
 	}
 	switch {

@@ -8,7 +8,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	measpkg "github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/trace"
@@ -97,7 +97,7 @@ func TestDetectSemiPersistent(t *testing.T) {
 	// Exit the loop: connect to a different PCell and stay there.
 	l.Append(at(base+210), rrc.SetupComplete{Rat: band.RATNR, Cell: ref("104@501390")})
 	l.Append(at(base+30000), rrc.MeasReport{Rat: band.RATNR, Entries: []rrc.MeasEntry{
-		{Cell: ref("104@501390"), Role: rrc.RolePCell, Meas: radio.Measurement{RSRPDBm: -80, RSRQDB: -10.5}},
+		{Cell: ref("104@501390"), Role: rrc.RolePCell, Meas: measpkg.Measurement{RSRPDBm: -80, RSRQDB: -10.5}},
 	}})
 	tl := trace.Extract(l)
 	loop, ok := Detect(tl)
@@ -220,11 +220,11 @@ func TestClassifyS1E1AndS1E2(t *testing.T) {
 				AddSCells: []rrc.SCellEntry{{Index: 1, Cell: bad}}})
 			l.Append(at(base+1010), rrc.ReconfigComplete{Rat: band.RATNR})
 			entries := []rrc.MeasEntry{
-				{Cell: pcell, Role: rrc.RolePCell, Meas: radio.Measurement{RSRPDBm: -80, RSRQDB: -10.5}},
+				{Cell: pcell, Role: rrc.RolePCell, Meas: measpkg.Measurement{RSRPDBm: -80, RSRQDB: -10.5}},
 			}
 			if poor {
 				entries = append(entries, rrc.MeasEntry{Cell: bad, Role: rrc.RoleSCell,
-					Meas: radio.Measurement{RSRPDBm: -108.5, RSRQDB: -25.5}})
+					Meas: measpkg.Measurement{RSRPDBm: -108.5, RSRQDB: -25.5}})
 			}
 			for j := 0; j < 4; j++ {
 				l.Append(at(base+2000+j*500), rrc.MeasReport{Rat: band.RATNR, Entries: entries})

@@ -440,6 +440,9 @@ func buildNSACluster(op *policy.Operator, f *radio.Field, area AreaSpec, idx int
 		goodTarget = jitter(rng, -121.5, -119) // RLF territory after redirect
 	case ArchN1E2:
 		goodTarget = jitter(rng, -128, -125) // handover execution fails
+	default:
+		// Every other archetype keeps the healthy -97..-92 dBm target:
+		// only the N1 loops need a weak redirect/handover victim.
 	}
 	calibrate(f, good, loc, goodTarget)
 	// The problem cell: decent RSRP (low band travels) and, on loop
@@ -478,6 +481,9 @@ func buildNSACluster(op *policy.Operator, f *radio.Field, area AreaSpec, idx int
 		// priority.
 		probTarget = goodTarget - jitter(rng, 13, 18)
 		prob.NoiseDBm = jitter(rng, 6, 10)
+	default:
+		// N2E1/N2E2 keep the marginal probTarget edge set above — that
+		// edge is exactly what makes their A3 ping-pong fire.
 	}
 	calibrate(f, prob, loc, probTarget)
 

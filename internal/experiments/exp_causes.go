@@ -129,6 +129,7 @@ func fsmOf(t core.LoopType) string {
 	case core.TypeN2:
 		return "5G NSA ⇄ 4G"
 	default:
+		// TypeUnknown: an unclassified loop sits in no Fig. 13 FSM.
 		return "?"
 	}
 }

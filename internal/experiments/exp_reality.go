@@ -103,6 +103,8 @@ func Fig9(c *Context) *Result {
 				p++
 			case core.FormSemiPersistent:
 				sp++
+			case core.FormNoLoop:
+				// Loop-free runs count toward the total only.
 			}
 		}
 		lik := a.LoopLikelihood()

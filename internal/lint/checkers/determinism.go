@@ -1,0 +1,128 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// wallClockFuncs are the time-package functions that read the machine
+// clock. Simulated time in this repo is integer milliseconds from run
+// start; a wall-clock read makes a run irreproducible from its seed.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// seededRandFuncs are the only math/rand entry points that construct an
+// explicitly seeded generator. Everything else at package level draws
+// from the process-global source.
+var seededRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Determinism returns the analyzer enforcing DESIGN.md §Determinism:
+// inside the scoped packages, no wall-clock reads, no global math/rand
+// draws, and no hard-coded RNG seeds — every generator must trace to a
+// config/seed parameter so runs replay bit-for-bit.
+//
+// scope entries are import-path suffixes (e.g. "internal/uesim"); a
+// package is checked when its path equals an entry or ends in
+// "/"+entry.
+func Determinism(scope []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "determinism",
+		Doc: "forbid wall-clock reads (time.Now/Since/Until), global math/rand draws, " +
+			"and constant RNG seeds in simulation/analysis packages; every source of " +
+			"randomness must be constructed from an explicit seed parameter (DESIGN.md §Determinism)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !pathInScope(pass.Path, scope) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					checkSelector(pass, n)
+				case *ast.CallExpr:
+					checkConstSeed(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// pathInScope reports whether the package path matches a scope suffix.
+func pathInScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncObj resolves sel to (package path, name) when it denotes a
+// package-level function of an imported package.
+func pkgFuncObj(pass *analysis.Pass, sel *ast.SelectorExpr) (string, string, bool) {
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false // method, not a package-level function
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	pkgPath, name, ok := pkgFuncObj(pass, sel)
+	if !ok {
+		return
+	}
+	switch pkgPath {
+	case "time":
+		if wallClockFuncs[name] {
+			pass.Reportf(sel.Pos(),
+				"wall-clock read time.%s breaks bit-reproducible replay; use simulated time or pass a timestamp in (DESIGN.md §Determinism)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[name] {
+			pass.Reportf(sel.Pos(),
+				"global rand.%s draws from the process-wide source; build rand.New(rand.NewSource(seed)) from the run's seed instead (DESIGN.md §Determinism)", name)
+		}
+	}
+}
+
+// checkConstSeed flags rand.NewSource(<constant>): a seed that cannot
+// be traced to a config parameter defeats seed-sweep experiments.
+func checkConstSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgPath, name, ok := pkgFuncObj(pass, sel)
+	if !ok || name != "NewSource" {
+		return
+	}
+	if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Value != nil {
+		pass.Reportf(call.Pos(),
+			"hard-coded RNG seed %s; derive the seed from the run's config so experiments stay sweepable (DESIGN.md §Determinism)", tv.Value)
+	}
+}

@@ -1,0 +1,36 @@
+package checkers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/mssn/loopscope/internal/lint/checkers"
+	"github.com/mssn/loopscope/internal/lint/linttest"
+)
+
+// testdata returns the absolute GOPATH-style root of the fixtures.
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestDeterminismFlagging(t *testing.T) {
+	scope := []string{"detbad", "detclean"}
+	linttest.Run(t, testdata(t), "detbad", checkers.Determinism(scope))
+}
+
+func TestDeterminismClean(t *testing.T) {
+	scope := []string{"detbad", "detclean"}
+	linttest.Run(t, testdata(t), "detclean", checkers.Determinism(scope))
+}
+
+func TestDeterminismScope(t *testing.T) {
+	// detscopeless reads the wall clock, but its package is not in the
+	// configured scope, so the analyzer must stay silent.
+	scope := []string{"detbad", "detclean"}
+	linttest.Run(t, testdata(t), "detscopeless", checkers.Determinism(scope))
+}

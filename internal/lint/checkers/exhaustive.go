@@ -1,0 +1,150 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// Enum names one closed enumeration: a defined type whose declared
+// package-level constants form its complete value set (the §5 cause
+// taxonomy, the Figure-4 sequence forms, the FSM states, ...).
+// Pkg is an import-path suffix, matched like determinism's scope.
+type Enum struct {
+	Pkg  string
+	Type string
+}
+
+// Exhaustive returns the analyzer enforcing that every switch over one
+// of the given closed enums either covers all declared constants or
+// carries a default clause with a justification comment. The paper's
+// seven-sub-type cause taxonomy (§5) is the motivating case: silently
+// unhandled sub-types are how classification drifts from the paper.
+func Exhaustive(enums []Enum) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "exhaustive",
+		Doc: "every switch on a closed enum (core.LoopType, core.Subtype, trace.ReleaseKind, ...) " +
+			"must cover all declared constants or carry an explicit default with a justification " +
+			"comment, keeping the §5 cause taxonomy exhaustively handled",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, f, sw, enums)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkSwitch(pass *analysis.Pass, file *ast.File, sw *ast.SwitchStmt, enums []Enum) {
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	var matched bool
+	for _, e := range enums {
+		if obj.Name() == e.Type && pathInScope(obj.Pkg().Path(), []string{e.Pkg}) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return
+	}
+
+	// Declared constant set of the enum. When switching from outside
+	// the defining package only exported constants are reachable.
+	sameCtx := obj.Pkg() == pass.Pkg
+	declared := map[string]string{} // constant value → name
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !sameCtx && !c.Exported() {
+			continue
+		}
+		declared[c.Val().ExactString()] = name
+	}
+	if len(declared) == 0 {
+		return
+	}
+
+	covered := map[string]bool{}
+	var def *ast.CaseClause
+	defEnd := sw.Body.Rbrace
+	for i, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			def = cc
+			if i+1 < len(sw.Body.List) {
+				defEnd = sw.Body.List[i+1].Pos()
+			}
+			continue
+		}
+		for _, expr := range cc.List {
+			if etv, ok := pass.Info.Types[expr]; ok && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for val, name := range declared {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	enumName := obj.Pkg().Name() + "." + obj.Name()
+	switch {
+	case def == nil:
+		pass.Reportf(sw.Pos(),
+			"switch on %s does not cover %s and has no default; handle the whole taxonomy or add a default with a justification comment",
+			enumName, strings.Join(missing, ", "))
+	case !clauseHasComment(pass.Fset, file, def, defEnd):
+		pass.Reportf(sw.Pos(),
+			"switch on %s omits %s; its default clause needs a justification comment explaining why the remaining values are safe to collapse",
+			enumName, strings.Join(missing, ", "))
+	}
+}
+
+// clauseHasComment reports whether a comment is attached to the default
+// clause: inside it (up to the next clause or the switch's closing
+// brace, so empty clauses holding only a comment count), or on the
+// line directly above it.
+func clauseHasComment(fset *token.FileSet, file *ast.File, cc *ast.CaseClause, limit token.Pos) bool {
+	start := fset.Position(cc.Pos()).Line
+	end := fset.Position(limit).Line
+	for _, cg := range file.Comments {
+		cLine := fset.Position(cg.Pos()).Line
+		cEnd := fset.Position(cg.End()).Line
+		if cEnd >= start-1 && cLine <= end {
+			return true
+		}
+	}
+	return false
+}

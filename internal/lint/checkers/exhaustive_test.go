@@ -1,0 +1,25 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"github.com/mssn/loopscope/internal/lint/checkers"
+	"github.com/mssn/loopscope/internal/lint/linttest"
+)
+
+func TestExhaustiveFlagging(t *testing.T) {
+	a := checkers.Exhaustive([]checkers.Enum{{Pkg: "exhaustbad", Type: "Kind"}})
+	linttest.Run(t, testdata(t), "exhaustbad", a)
+}
+
+func TestExhaustiveClean(t *testing.T) {
+	a := checkers.Exhaustive([]checkers.Enum{{Pkg: "exhaustclean", Type: "Kind"}})
+	linttest.Run(t, testdata(t), "exhaustclean", a)
+}
+
+func TestExhaustiveUnlistedEnum(t *testing.T) {
+	// The flagging fixture is silent when its type is not in the
+	// closed-enum list — only listed enums are constrained.
+	a := checkers.Exhaustive([]checkers.Enum{{Pkg: "exhaustclean", Type: "Kind"}})
+	linttest.RunExpectNone(t, testdata(t), "exhaustbad", a)
+}

@@ -1,0 +1,73 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// Floatcmp returns the analyzer that flags == and != between floating
+// point operands. RSRP/RSRQ values ride through path loss, shadowing
+// and fading arithmetic, so exact equality is never meaningful; the
+// approved way to compare them is meas.ApproxEqual (or an explicit
+// epsilon).
+//
+// approved lists "pkgSuffix.FuncName" entries whose bodies are exempt —
+// the epsilon helpers themselves must be allowed to subtract and
+// compare.
+func Floatcmp(approved []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "floatcmp",
+		Doc: "flag ==/!= on float operands (RSRP/RSRQ and friends) outside approved " +
+			"epsilon helpers; use meas.ApproxEqual or an explicit tolerance instead",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && isApproved(pass.Path, fd.Name.Name, approved) {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					if isFloat(pass, be.X) || isFloat(pass, be.Y) {
+						pass.Reportf(be.OpPos,
+							"%s on floating-point values; dB-scale quantities carry sub-0.1 dB noise — use meas.ApproxEqual or an explicit epsilon", be.Op)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func isApproved(pkgPath, fn string, approved []string) bool {
+	for _, entry := range approved {
+		dot := len(entry) - len(fn) - 1
+		if dot <= 0 || entry[dot] != '.' || entry[dot+1:] != fn {
+			continue
+		}
+		if pathInScope(pkgPath, []string{entry[:dot]}) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsFloat != 0
+}

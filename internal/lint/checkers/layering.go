@@ -1,0 +1,89 @@
+package checkers
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// Rule is one row of the allowed-import-edge table: the internal
+// packages a package may import directly, and the DESIGN.md rule that
+// is cited when the edge is violated.
+type Rule struct {
+	Allow  []string
+	Reason string
+}
+
+// Layering returns the analyzer enforcing the allowed-import-edge
+// table over modulePath's internal/ packages. Every internal package
+// must have a rule (an unlisted package is itself a finding, so the
+// table cannot silently rot), and may only import the internal
+// packages its rule allows. Packages whose path relative to internal/
+// starts with an exemptPrefix (tooling such as lint itself) are
+// skipped.
+//
+// Test files are outside the table: the analyzer only sees a package's
+// non-test sources, so tests remain free to import simulators to
+// generate fixtures.
+func Layering(modulePath string, rules map[string]Rule, exemptPrefixes []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "layering",
+		Doc: "enforce the methodology boundary as an explicit allowed-import-edge table: " +
+			"the detection/classification side consumes only parsed logs (DESIGN.md: " +
+			"\"analysis never touches simulator internals — it parses the logs\"); " +
+			"violations cite the DESIGN rule and the table lives in internal/lint/checkers/loopvet.go",
+	}
+	internalPrefix := modulePath + "/internal/"
+	a.Run = func(pass *analysis.Pass) error {
+		rel, ok := strings.CutPrefix(pass.Path, internalPrefix)
+		if !ok {
+			return nil // only internal/ packages are constrained
+		}
+		for _, p := range exemptPrefixes {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return nil
+			}
+		}
+		rule, ok := rules[rel]
+		if !ok {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"internal package %q has no layering rule; add its allowed-import row to the table in internal/lint/checkers/loopvet.go (docs/ANALYSIS.md)", rel)
+			return nil
+		}
+		allowed := map[string]bool{}
+		for _, dep := range rule.Allow {
+			allowed[dep] = true
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				dep, ok := strings.CutPrefix(path, internalPrefix)
+				if !ok {
+					continue
+				}
+				if !allowed[dep] {
+					pass.Reportf(imp.Pos(),
+						"internal/%s may not import internal/%s: %s (allowed: %s; see docs/ANALYSIS.md)",
+						rel, dep, rule.Reason, formatAllow(rule.Allow))
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func formatAllow(allow []string) string {
+	if len(allow) == 0 {
+		return "none"
+	}
+	s := append([]string(nil), allow...)
+	sort.Strings(s)
+	return fmt.Sprint(strings.Join(s, ", "))
+}

@@ -1,0 +1,11 @@
+// Package core sits on the analysis side: importing the simulator
+// violates the log-only methodology boundary.
+package core
+
+import (
+	"app/internal/rrc"
+	"app/internal/uesim" // want "internal/core may not import internal/uesim"
+)
+
+// Sum uses both imports so the fixture type-checks.
+const Sum = rrc.Version + uesim.Step

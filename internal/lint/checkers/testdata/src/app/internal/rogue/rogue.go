@@ -1,0 +1,6 @@
+// Package rogue has no row in the layering table: that is itself a
+// finding, so the table cannot silently rot as packages are added.
+package rogue // want "internal package .rogue. has no layering rule"
+
+// X keeps the package non-empty.
+const X = 1

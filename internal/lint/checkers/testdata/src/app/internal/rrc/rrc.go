@@ -1,0 +1,6 @@
+// Package rrc is a leaf fixture on the analysis side of the layering
+// table: it may import nothing internal.
+package rrc
+
+// Version gives importers something to use.
+const Version = 1

@@ -1,0 +1,6 @@
+// Package uesim stands in for the simulator side of the methodology
+// boundary.
+package uesim
+
+// Step gives importers something to use.
+const Step = 1

@@ -1,0 +1,33 @@
+// Package detbad exercises every flagging path of the determinism
+// analyzer: wall-clock reads, global math/rand draws, and hard-coded
+// RNG seeds.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now breaks bit-reproducible replay"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want "wall-clock read time.Until"
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want "global rand.Float64 draws from the process-wide source"
+}
+
+func globalInt(n int) int {
+	return rand.Intn(n) // want "global rand.Intn draws from the process-wide source"
+}
+
+func hardSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "hard-coded RNG seed 42"
+}

@@ -1,0 +1,18 @@
+// Package detclean is the determinism analyzer's clean fixture: it is
+// inside the configured scope, yet every generator traces to a seed
+// parameter and time is simulated integer milliseconds.
+package detclean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func simElapsed(stepMs, steps int) time.Duration {
+	return time.Duration(stepMs*steps) * time.Millisecond
+}

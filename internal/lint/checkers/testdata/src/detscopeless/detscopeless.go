@@ -1,0 +1,8 @@
+// Package detscopeless reads the wall clock, but the determinism
+// analyzer only constrains packages in its configured scope — run
+// with a scope that excludes this package, it must stay silent.
+package detscopeless
+
+import "time"
+
+func now() time.Time { return time.Now() }

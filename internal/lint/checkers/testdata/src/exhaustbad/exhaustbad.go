@@ -1,0 +1,33 @@
+// Package exhaustbad exercises the exhaustiveness analyzer's two
+// flagging paths: a non-covering switch without a default, and a
+// default clause with no justification comment.
+package exhaustbad
+
+// Kind is a closed enum in the style of core.Subtype.
+type Kind uint8
+
+// The declared constant set of Kind.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+func noDefault(k Kind) int {
+	switch k { // want "switch on exhaustbad.Kind does not cover KindC and has no default"
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+func bareDefault(k Kind) int {
+	switch k { // want "switch on exhaustbad.Kind omits KindB, KindC; its default clause needs a justification comment"
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,41 @@
+// Package exhaustclean is the exhaustiveness analyzer's clean fixture:
+// a fully covered switch, a justified default, and a switch on a type
+// outside the closed-enum list.
+package exhaustclean
+
+// Kind is a closed enum in the style of core.Subtype.
+type Kind uint8
+
+// The declared constant set of Kind.
+const (
+	KindA Kind = iota
+	KindB
+)
+
+func full(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+func justified(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		// KindB and corrupted values collapse to zero by design.
+		return 0
+	}
+}
+
+func notAnEnum(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}

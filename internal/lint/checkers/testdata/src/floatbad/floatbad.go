@@ -1,0 +1,17 @@
+// Package floatbad exercises the float-comparison analyzer: == and !=
+// on floating-point operands outside an approved epsilon helper.
+package floatbad
+
+func equal(a, b float64) bool {
+	return a == b // want "== on floating-point values"
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want "!= on floating-point values"
+}
+
+type rsrp float64
+
+func named(a, b rsrp) bool {
+	return a == b // want "== on floating-point values"
+}

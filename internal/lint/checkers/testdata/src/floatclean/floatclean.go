@@ -1,0 +1,19 @@
+// Package floatclean is the float-comparison analyzer's clean fixture:
+// the approved epsilon helper may compare floats, and non-float
+// comparisons are never flagged.
+package floatclean
+
+// ApproxEqual is the approved epsilon helper; its body is exempt.
+func ApproxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d == 0 || d < 1e-9
+}
+
+func ints(a, b int) bool { return a == b }
+
+func labels(a, b string) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }

@@ -1,0 +1,242 @@
+// Package driver runs a loopvet analyzer suite over a module tree:
+// it enumerates packages, loads them through internal/lint/load, runs
+// each analyzer, applies //lint:ignore waivers, and returns findings
+// in a stable order. cmd/loopvet and the negative-case tests share it.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+	"github.com/mssn/loopscope/internal/lint/load"
+)
+
+// Finding is one reported diagnostic, with positions relative to the
+// module root so CI annotations are portable.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: loopvet/%s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Options configures one run.
+type Options struct {
+	ModulePath string
+	ModuleRoot string
+	// Patterns are package dirs relative to ModuleRoot; "./..." (or
+	// "...") expands to every package in the module.
+	Patterns  []string
+	Analyzers []*analysis.Analyzer
+}
+
+// Run executes the suite and returns the surviving findings.
+func Run(opts Options) ([]Finding, error) {
+	paths, err := expand(opts)
+	if err != nil {
+		return nil, err
+	}
+	loader := load.New(opts.ModulePath, opts.ModuleRoot)
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		waivers := collectWaivers(loader.Fset, pkg.Files)
+		var diags []analysis.Diagnostic
+		for _, a := range opts.Analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.ImportPath,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, path, err)
+			}
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			if waivers.covers(d.Analyzer, pos) {
+				continue
+			}
+			rel, err := filepath.Rel(opts.ModuleRoot, pos.Filename)
+			if err != nil {
+				rel = pos.Filename
+			}
+			findings = append(findings, Finding{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(rel),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		}
+		for _, m := range waivers.malformed {
+			if rel, err := filepath.Rel(opts.ModuleRoot, m.File); err == nil {
+				m.File = filepath.ToSlash(rel)
+			}
+			findings = append(findings, m)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// expand turns the patterns into import paths.
+func expand(opts Options) ([]string, error) {
+	var dirs []string
+	wantAll := false
+	for _, p := range opts.Patterns {
+		if p == "./..." || p == "..." {
+			wantAll = true
+			continue
+		}
+		dirs = append(dirs, filepath.Clean(strings.TrimPrefix(p, "./")))
+	}
+	if wantAll || len(dirs) == 0 {
+		err := filepath.WalkDir(opts.ModuleRoot, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != opts.ModuleRoot &&
+				(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			if hasGoFiles(path) {
+				rel, err := filepath.Rel(opts.ModuleRoot, path)
+				if err != nil {
+					return err
+				}
+				dirs = append(dirs, filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var paths []string
+	for _, dir := range dirs {
+		if dir == "." {
+			paths = append(paths, opts.ModulePath)
+			continue
+		}
+		paths = append(paths, opts.ModulePath+"/"+filepath.ToSlash(dir))
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// waiverSet indexes //lint:ignore comments by file and line.
+type waiverSet struct {
+	// byLine maps file → line → waived analyzer names. A waiver on
+	// line L suppresses findings on L (trailing comment) and L+1
+	// (comment above the flagged statement).
+	byLine    map[string]map[int]map[string]bool
+	malformed []Finding
+}
+
+// collectWaivers scans comments for the waiver syntax:
+//
+//	//lint:ignore loopvet/<name>[,loopvet/<name>...] reason
+//
+// A waiver without a reason is itself a finding — waivers must say why.
+func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
+	ws := &waiverSet{byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				names := []string{}
+				if len(fields) > 0 {
+					for _, n := range strings.Split(fields[0], ",") {
+						if name, ok := strings.CutPrefix(n, "loopvet/"); ok {
+							names = append(names, name)
+						}
+					}
+				}
+				if len(names) == 0 {
+					continue // not a loopvet waiver (e.g. staticcheck's)
+				}
+				if len(fields) < 2 {
+					ws.malformed = append(ws.malformed, Finding{
+						Analyzer: "waiver",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "//lint:ignore waiver needs a reason after the check name",
+					})
+					continue
+				}
+				m := ws.byLine[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					ws.byLine[pos.Filename] = m
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if m[line] == nil {
+						m[line] = map[string]bool{}
+					}
+					for _, n := range names {
+						m[line][n] = true
+					}
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *waiverSet) covers(analyzer string, pos token.Position) bool {
+	return ws.byLine[pos.Filename][pos.Line][analyzer]
+}

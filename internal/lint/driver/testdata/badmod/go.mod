@@ -1,0 +1,3 @@
+module badmod.example
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package core seeds layering and exhaustiveness regressions: it
+// imports the simulator across the methodology boundary and switches
+// over a closed enum without covering it.
+package core
+
+import "badmod.example/internal/uesim"
+
+// LoopType mirrors the real enum so the exhaustive analyzer engages.
+type LoopType uint8
+
+// The declared constant set of LoopType.
+const (
+	TypeS1 LoopType = iota
+	TypeN1
+	TypeN2
+)
+
+// Name classifies without covering TypeN2.
+func Name(t LoopType) string {
+	switch t {
+	case TypeS1:
+		return "S1"
+	case TypeN1:
+		return "N1"
+	}
+	return uesim.Tag
+}

@@ -1,0 +1,22 @@
+// Package uesim seeds determinism and floatcmp regressions: the
+// negative-case tests assert loopvet fails on this module.
+package uesim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tag is imported by core so the forbidden layering edge exists.
+const Tag = "?"
+
+// Jitter draws from the wall clock and the process-global source.
+func Jitter() float64 {
+	if time.Now().Unix()%2 == 0 {
+		return rand.Float64()
+	}
+	return 0
+}
+
+// Same compares floats exactly.
+func Same(a, b float64) bool { return a == b }

@@ -1,0 +1,17 @@
+// Package stats exercises waiver handling: a reasoned waiver
+// suppresses its finding, a reasonless waiver is itself a finding and
+// suppresses nothing.
+package stats
+
+// Same is waived with a reason: the finding must be suppressed.
+func Same(a, b float64) bool {
+	//lint:ignore loopvet/floatcmp fixture: exact equality is intended here
+	return a == b
+}
+
+// Other carries a reasonless waiver: the waiver is reported and the
+// comparison it tried to cover still is too.
+func Other(a, b float64) bool {
+	//lint:ignore loopvet/floatcmp
+	return a == b
+}

@@ -1,0 +1,46 @@
+package load
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModule type-checks representative packages of this module —
+// a leaf, a heavy orchestrator, the root, and a main package — through
+// the source importer.
+func TestLoadModule(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New("github.com/mssn/loopscope", root)
+	for _, p := range []string{
+		"github.com/mssn/loopscope/internal/core",
+		"github.com/mssn/loopscope/internal/campaign",
+		"github.com/mssn/loopscope",
+		"github.com/mssn/loopscope/cmd/loopctl",
+	} {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(pkg.Files) == 0 {
+			t.Errorf("%s: no files", p)
+		}
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Errorf("%s: missing type information", p)
+		}
+	}
+}
+
+// TestLoadUnknown checks the error path for unresolvable imports.
+func TestLoadUnknown(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New("github.com/mssn/loopscope", root)
+	if _, err := l.Load("github.com/mssn/loopscope/internal/no-such-package"); err == nil {
+		t.Fatal("loading a nonexistent package succeeded")
+	}
+}

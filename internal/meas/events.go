@@ -1,4 +1,4 @@
-package radio
+package meas
 
 import "fmt"
 
@@ -57,6 +57,8 @@ func (k EventKind) String() string {
 	case EventB1:
 		return "B1"
 	default:
+		// Closed enum: only reachable on a corrupted or future value;
+		// render it numerically rather than guessing.
 		return fmt.Sprintf("Event(%d)", uint8(k))
 	}
 }
@@ -110,6 +112,7 @@ func (e EventConfig) Entered(serving, neighbour Measurement) bool {
 	case EventB1:
 		return mn-e.Hysteresis > e.Threshold
 	default:
+		// Closed enum: an unknown kind never triggers.
 		return false
 	}
 }
@@ -131,6 +134,7 @@ func (e EventConfig) String() string {
 	case EventB1:
 		return fmt.Sprintf("B1 %s > %g%s", e.Quantity, e.Threshold, unit)
 	default:
+		// Closed enum: only reachable on a corrupted or future value.
 		return "Event(?)"
 	}
 }

@@ -1,0 +1,46 @@
+// Package meas holds the 3GPP measurement vocabulary shared by the
+// simulator and the log-analysis side: the RSRP/RSRQ observation type
+// and the measurement-reporting events (A2, A3, A5, B1) of
+// TS 36.331 / TS 38.331 §5.5.4.
+//
+// It is a leaf package on the methodology boundary (DESIGN.md): the
+// NSG-style log format (internal/sig) and the RRC message model
+// (internal/rrc) both speak in these terms, but neither may depend on
+// the synthetic radio environment (internal/radio) that *produces*
+// measurements in simulation. Keeping the vocabulary here lets the
+// parser side stay log-only, the way the paper's methodology demands.
+package meas
+
+import "math"
+
+// MeasurableFloorDBm is the weakest RSRP a UE can still detect and
+// report. Cells below it silently vanish from measurement reports —
+// exactly the S1E1 trigger ("no RSRP/RSRQ measurements of one or more 5G
+// SCells", §5.1).
+const MeasurableFloorDBm = -125.0
+
+// Measurement is one RSRP/RSRQ observation of a cell.
+type Measurement struct {
+	RSRPDBm float64
+	RSRQDB  float64
+}
+
+// Measurable reports whether the observation is strong enough for the
+// UE to include it in a measurement report.
+func (m Measurement) Measurable() bool { return m.RSRPDBm >= MeasurableFloorDBm }
+
+// Epsilon is the default tolerance for comparing RSRP/RSRQ values in
+// dB space. Captured and simulated levels carry sub-0.1 dB noise, so
+// exact float64 equality is never meaningful; 1e-9 dB is far below any
+// physical resolution while still catching genuinely identical values.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether two dB-scale values are equal within
+// Epsilon. It is the approved way to compare RSRP/RSRQ floats — direct
+// == / != on them is rejected by loopvet's floatcmp analyzer.
+func ApproxEqual(a, b float64) bool { return ApproxEqualEps(a, b, Epsilon) }
+
+// ApproxEqualEps is ApproxEqual with an explicit tolerance.
+func ApproxEqualEps(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

@@ -10,7 +10,7 @@ package policy
 import (
 	"time"
 
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 )
 
 // Mode is the operator's 5G deployment option.
@@ -50,21 +50,21 @@ type Operator struct {
 	// SCellA2 is the serving-SCell release event configuration
 	// ("A2 RSRP < −156 dBm" in the instances — set so low it never
 	// fires, which is itself part of the S1E2 story).
-	SCellA2 radio.EventConfig
+	SCellA2 meas.EventConfig
 	// SCellA3 triggers SCell modification when a co-channel candidate
 	// is offset stronger ("A3 RSRP gap > 6 dB").
-	SCellA3 radio.EventConfig
+	SCellA3 meas.EventConfig
 
 	// --- 5G NSA parameters (OPA, OPV) ---
 
 	// B1 arms NR SCG addition (e.g. RSRP > −115 dBm, Fig. 33).
-	B1 radio.EventConfig
+	B1 meas.EventConfig
 	// HandoverA3 governs LTE PCell handover (RSRQ offset 6 dB on the
 	// problematic channels, Fig. 32).
-	HandoverA3 radio.EventConfig
+	HandoverA3 meas.EventConfig
 	// PSCellA3 triggers NR PSCell change within the SCG (Fig. 33:
 	// "A3 on 648672: RSRP offset > 5 dB").
-	PSCellA3 radio.EventConfig
+	PSCellA3 meas.EventConfig
 
 	// DisabledWith5G marks 4G channels whose PCells never get an SCG
 	// (OPA's 5815, F15 policy 1).
@@ -138,7 +138,7 @@ func (l A2B1Legacy) DeadBand(rsrpDBm float64) bool {
 func OPALegacy() *Operator {
 	op := OPA()
 	op.Name = "OPA-legacy"
-	op.B1 = radio.B1(radio.QuantityRSRP, -118)
+	op.B1 = meas.B1(meas.QuantityRSRP, -118)
 	op.LegacyA2B1 = &A2B1Legacy{A2ThreshRSRPDBm: -110, B1ThreshRSRPDBm: -118}
 	return op
 }
@@ -152,8 +152,8 @@ func OPT() *Operator {
 		NRChannels:          []int{521310, 501390, 398410, 387410, 126270},
 		LTEChannels:         []int{850, 66986},
 		SelectThreshRSRPDBm: -108,
-		SCellA2:             radio.A2(radio.QuantityRSRP, -156),
-		SCellA3:             radio.A3(radio.QuantityRSRP, 6),
+		SCellA2:             meas.A2(meas.QuantityRSRP, -156),
+		SCellA3:             meas.A3(meas.QuantityRSRP, 6),
 		AnchorPriorityDB: map[int]float64{
 			521310: 15, // wide n41 carriers are the preferred anchors
 			501390: 6,
@@ -172,9 +172,9 @@ func OPA() *Operator {
 		Mode:        ModeNSA,
 		NRChannels:  []int{632736, 658080, 174770},
 		LTEChannels: []int{850, 1150, 2000, 5145, 5815, 9820, 66486, 66936},
-		B1:          radio.B1(radio.QuantityRSRP, -115),
-		HandoverA3:  radio.A3(radio.QuantityRSRQ, 6),
-		PSCellA3:    radio.A3(radio.QuantityRSRP, 5),
+		B1:          meas.B1(meas.QuantityRSRP, -115),
+		HandoverA3:  meas.A3(meas.QuantityRSRQ, 6),
+		PSCellA3:    meas.A3(meas.QuantityRSRP, 5),
 		DisabledWith5G: map[int]bool{
 			5815: true,
 		},
@@ -196,9 +196,9 @@ func OPV() *Operator {
 		Mode:        ModeNSA,
 		NRChannels:  []int{648672, 653952},
 		LTEChannels: []int{1075, 2560, 5230, 66586, 66836},
-		B1:          radio.B1(radio.QuantityRSRP, -115),
-		HandoverA3:  radio.A3(radio.QuantityRSRQ, 6),
-		PSCellA3:    radio.A3(radio.QuantityRSRP, 5),
+		B1:          meas.B1(meas.QuantityRSRP, -115),
+		HandoverA3:  meas.A3(meas.QuantityRSRQ, 6),
+		PSCellA3:    meas.A3(meas.QuantityRSRP, 5),
 		DropSCGOnHandoverTo: map[int]bool{
 			5230: true,
 		},

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 )
 
 func TestAllOperators(t *testing.T) {
@@ -55,10 +55,10 @@ func TestOPTPolicies(t *testing.T) {
 	if op.SelectThreshRSRPDBm != -108 {
 		t.Errorf("selection threshold = %v", op.SelectThreshRSRPDBm)
 	}
-	if op.SCellA2.Threshold != -156 || op.SCellA2.Kind != radio.EventA2 {
+	if op.SCellA2.Threshold != -156 || op.SCellA2.Kind != meas.EventA2 {
 		t.Errorf("SCellA2 = %+v", op.SCellA2)
 	}
-	if op.SCellA3.Offset != 6 || op.SCellA3.Kind != radio.EventA3 {
+	if op.SCellA3.Offset != 6 || op.SCellA3.Kind != meas.EventA3 {
 		t.Errorf("SCellA3 = %+v", op.SCellA3)
 	}
 	// The problematic channel must be deployed.
@@ -95,7 +95,7 @@ func TestOPAPolicies(t *testing.T) {
 	if op.SCGRecoveryConfigPeriod > 2*time.Second {
 		t.Errorf("OPA recovery period = %v, want ~1s", op.SCGRecoveryConfigPeriod)
 	}
-	if op.HandoverA3.Quantity != radio.QuantityRSRQ {
+	if op.HandoverA3.Quantity != meas.QuantityRSRQ {
 		t.Error("OPA handover A3 is RSRQ-driven (Fig. 32)")
 	}
 }

@@ -1,7 +1,9 @@
 // Package radio provides the synthetic radio environment: a
 // deterministic RSRP/RSRQ field over space (path loss + spatially
-// correlated shadowing + per-sample fading) and the 3GPP measurement
-// events (A2, A3, A5, B1) that the RRC procedures in the paper key on.
+// correlated shadowing + per-sample fading). The measurement vocabulary
+// it samples into — and the 3GPP events (A2, A3, A5, B1) the RRC
+// procedures key on — lives in internal/meas, on the analysis side of
+// the methodology boundary.
 //
 // The paper's findings hinge on *relative* signal relationships — RSRP
 // gaps between intra-channel cells (F16), gaps between candidate PCells
@@ -16,23 +18,8 @@ import (
 
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/meas"
 )
-
-// MeasurableFloorDBm is the weakest RSRP a UE can still detect and
-// report. Cells below it silently vanish from measurement reports —
-// exactly the S1E1 trigger ("no RSRP/RSRQ measurements of one or more 5G
-// SCells", §5.1).
-const MeasurableFloorDBm = -125.0
-
-// Measurement is one RSRP/RSRQ observation of a cell.
-type Measurement struct {
-	RSRPDBm float64
-	RSRQDB  float64
-}
-
-// Measurable reports whether the observation is strong enough for the
-// UE to include it in a measurement report.
-func (m Measurement) Measurable() bool { return m.RSRPDBm >= MeasurableFloorDBm }
 
 // Field is a deterministic radio map: given a cell and a location it
 // returns the local median measurement, and given an additional time and
@@ -139,14 +126,14 @@ func rsrqFromRSRP(rsrp, noiseDBm float64) float64 {
 
 // Median returns the deterministic local median measurement of c at p:
 // transmit power minus path loss minus shadowing, with the derived RSRQ.
-func (f *Field) Median(c *cell.Cell, p geo.Point) Measurement {
+func (f *Field) Median(c *cell.Cell, p geo.Point) meas.Measurement {
 	rsrp := c.TxPowerDBm - pathLossDB(c.Pos.Dist(p), c.FreqMHz()) + f.shadowDB(c, p)
-	return Measurement{RSRPDBm: rsrp, RSRQDB: rsrqFromRSRP(rsrp, c.NoiseDBm)}
+	return meas.Measurement{RSRPDBm: rsrp, RSRQDB: rsrqFromRSRP(rsrp, c.NoiseDBm)}
 }
 
 // Sample returns one faded observation of c at p. The rng carries the
 // run's temporal randomness; spatial structure stays deterministic.
-func (f *Field) Sample(c *cell.Cell, p geo.Point, rng *rand.Rand) Measurement {
+func (f *Field) Sample(c *cell.Cell, p geo.Point, rng *rand.Rand) meas.Measurement {
 	m := f.Median(c, p)
 	m.RSRPDBm += rng.NormFloat64() * f.FadeSigmaDB
 	m.RSRQDB = rsrqFromRSRP(m.RSRPDBm, c.NoiseDBm) + rng.NormFloat64()*0.8

@@ -139,98 +139,6 @@ func TestRSRQMonotone(t *testing.T) {
 	}
 }
 
-func TestMeasurable(t *testing.T) {
-	if (Measurement{RSRPDBm: -130}).Measurable() {
-		t.Error("-130 dBm should be below the floor")
-	}
-	if !(Measurement{RSRPDBm: -120}).Measurable() {
-		t.Error("-120 dBm should be measurable")
-	}
-}
-
-func TestEventA2(t *testing.T) {
-	e := A2(QuantityRSRP, -110)
-	if e.Entered(Measurement{RSRPDBm: -100}, Measurement{}) {
-		t.Error("A2 should not fire above threshold")
-	}
-	if !e.Entered(Measurement{RSRPDBm: -115}, Measurement{}) {
-		t.Error("A2 should fire below threshold")
-	}
-}
-
-func TestEventA3(t *testing.T) {
-	e := A3(QuantityRSRP, 6)
-	s := Measurement{RSRPDBm: -85}
-	if e.Entered(s, Measurement{RSRPDBm: -80}) {
-		t.Error("A3 must require the full offset")
-	}
-	if !e.Entered(s, Measurement{RSRPDBm: -78}) {
-		t.Error("A3 should fire when neighbour is 7 dB better")
-	}
-	// RSRQ variant, as on OPA channel 5815 (Fig. 32).
-	eq := A3(QuantityRSRQ, 6)
-	if !eq.Entered(Measurement{RSRQDB: -17.5}, Measurement{RSRQDB: -10}) {
-		t.Error("A3 RSRQ should fire")
-	}
-}
-
-func TestEventA3Hysteresis(t *testing.T) {
-	e := A3(QuantityRSRP, 6)
-	e.Hysteresis = 2
-	s := Measurement{RSRPDBm: -85}
-	if e.Entered(s, Measurement{RSRPDBm: -78}) {
-		t.Error("hysteresis should suppress a marginal A3")
-	}
-	if !e.Entered(s, Measurement{RSRPDBm: -76}) {
-		t.Error("A3 should fire beyond offset+hysteresis")
-	}
-}
-
-func TestEventA5(t *testing.T) {
-	// The N1E2 instance's A5: serving < −118 and neighbour > −120.
-	e := A5(QuantityRSRP, -118, -120)
-	if !e.Entered(Measurement{RSRPDBm: -122.5}, Measurement{RSRPDBm: -105}) {
-		t.Error("A5 should fire")
-	}
-	if e.Entered(Measurement{RSRPDBm: -110}, Measurement{RSRPDBm: -105}) {
-		t.Error("A5 needs the serving side below threshold1")
-	}
-	if e.Entered(Measurement{RSRPDBm: -122.5}, Measurement{RSRPDBm: -125}) {
-		t.Error("A5 needs the neighbour above threshold2")
-	}
-}
-
-func TestEventB1(t *testing.T) {
-	// The N2E2 instance's B1: RSRP > −115 (Fig. 33).
-	e := B1(QuantityRSRP, -115)
-	if !e.Entered(Measurement{}, Measurement{RSRPDBm: -114}) {
-		t.Error("B1 should fire at -114")
-	}
-	if e.Entered(Measurement{}, Measurement{RSRPDBm: -115.5}) {
-		t.Error("B1 should not fire at -115.5")
-	}
-}
-
-func TestEventStrings(t *testing.T) {
-	cases := map[string]EventConfig{
-		"A2 RSRP < -156dBm":               A2(QuantityRSRP, -156),
-		"A3 RSRQ offset > 6dB":            A3(QuantityRSRQ, 6),
-		"B1 RSRP > -115dBm":               B1(QuantityRSRP, -115),
-		"A5 RSRP < -118dBm and > -120dBm": A5(QuantityRSRP, -118, -120),
-	}
-	for want, e := range cases {
-		if got := e.String(); got != want {
-			t.Errorf("String = %q, want %q", got, want)
-		}
-	}
-	if EventA3.String() != "A3" || EventKind(9).String() != "Event(9)" {
-		t.Error("EventKind strings")
-	}
-	if QuantityRSRP.String() != "RSRP" || QuantityRSRQ.String() != "RSRQ" {
-		t.Error("Quantity strings")
-	}
-}
-
 func TestGauss01Distribution(t *testing.T) {
 	// The lattice noise should be roughly standard normal.
 	var sum, ss float64

@@ -18,7 +18,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 )
 
 // Message is one RRC (or modem-status) message in a signaling capture.
@@ -127,7 +127,7 @@ func (s SCellEntry) String() string {
 // 398410 and 521310: RSRP < -156dbm").
 type MeasObject struct {
 	Channels []int
-	Event    radio.EventConfig
+	Event    meas.EventConfig
 }
 
 // String renders the configured measurement.
@@ -211,7 +211,7 @@ const (
 type MeasEntry struct {
 	Cell cell.Ref
 	Role MeasRole
-	Meas radio.Measurement
+	Meas meas.Measurement
 }
 
 // MeasReport is a MeasurementReport message.

@@ -6,7 +6,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 )
 
 func ref(s string) cell.Ref { return cell.MustRef(s) }
@@ -59,7 +59,7 @@ func TestSCellEntryString(t *testing.T) {
 }
 
 func TestMeasObjectString(t *testing.T) {
-	mo := MeasObject{Channels: []int{387410, 398410}, Event: radio.A2(radio.QuantityRSRP, -156)}
+	mo := MeasObject{Channels: []int{387410, 398410}, Event: meas.A2(meas.QuantityRSRP, -156)}
 	if got := mo.String(); got != "A2 RSRP < -156dBm on 387410,398410" {
 		t.Errorf("String = %q", got)
 	}
@@ -84,8 +84,8 @@ func TestReconfigHelpers(t *testing.T) {
 
 func TestMeasReportFind(t *testing.T) {
 	m := MeasReport{Entries: []MeasEntry{
-		{Cell: ref("1@2"), Role: RolePCell, Meas: radio.Measurement{RSRPDBm: -80}},
-		{Cell: ref("3@4"), Role: RoleSCell, Meas: radio.Measurement{RSRPDBm: -90}},
+		{Cell: ref("1@2"), Role: RolePCell, Meas: meas.Measurement{RSRPDBm: -80}},
+		{Cell: ref("3@4"), Role: RoleSCell, Meas: meas.Measurement{RSRPDBm: -90}},
 	}}
 	e, ok := m.Find(ref("3@4"))
 	if !ok || e.Role != RoleSCell || e.Meas.RSRPDBm != -90 {

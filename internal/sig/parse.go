@@ -11,7 +11,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 )
 
@@ -518,22 +518,22 @@ func parseMeasObject(s string) (rrc.MeasObject, error) {
 	return mo, nil
 }
 
-// ParseEventConfig inverts radio.EventConfig.String, accepting the four
+// ParseEventConfig inverts meas.EventConfig.String, accepting the four
 // shapes the study emits ("A2 RSRP < -156dBm", "A3 RSRQ offset > 6dB",
 // "A5 RSRP < -118dBm and > -120dBm", "B1 RSRP > -115dBm").
-func ParseEventConfig(s string) (radio.EventConfig, error) {
+func ParseEventConfig(s string) (meas.EventConfig, error) {
 	fields := strings.Fields(s)
 	if len(fields) < 3 {
-		return radio.EventConfig{}, fmt.Errorf("sig: bad event config %q", s)
+		return meas.EventConfig{}, fmt.Errorf("sig: bad event config %q", s)
 	}
-	var q radio.Quantity
+	var q meas.Quantity
 	switch fields[1] {
 	case "RSRP":
-		q = radio.QuantityRSRP
+		q = meas.QuantityRSRP
 	case "RSRQ":
-		q = radio.QuantityRSRQ
+		q = meas.QuantityRSRQ
 	default:
-		return radio.EventConfig{}, fmt.Errorf("sig: bad quantity in %q", s)
+		return meas.EventConfig{}, fmt.Errorf("sig: bad quantity in %q", s)
 	}
 	num := func(tok string) (float64, error) {
 		tok = strings.TrimSuffix(strings.TrimSuffix(tok, "dBm"), "dB")
@@ -542,45 +542,45 @@ func ParseEventConfig(s string) (radio.EventConfig, error) {
 	switch fields[0] {
 	case "A2":
 		if len(fields) != 4 || fields[2] != "<" {
-			return radio.EventConfig{}, fmt.Errorf("sig: bad A2 config %q", s)
+			return meas.EventConfig{}, fmt.Errorf("sig: bad A2 config %q", s)
 		}
 		v, err := num(fields[3])
 		if err != nil {
-			return radio.EventConfig{}, err
+			return meas.EventConfig{}, err
 		}
-		return radio.A2(q, v), nil
+		return meas.A2(q, v), nil
 	case "A3":
 		if len(fields) != 5 || fields[2] != "offset" || fields[3] != ">" {
-			return radio.EventConfig{}, fmt.Errorf("sig: bad A3 config %q", s)
+			return meas.EventConfig{}, fmt.Errorf("sig: bad A3 config %q", s)
 		}
 		v, err := num(fields[4])
 		if err != nil {
-			return radio.EventConfig{}, err
+			return meas.EventConfig{}, err
 		}
-		return radio.A3(q, v), nil
+		return meas.A3(q, v), nil
 	case "A5":
 		if len(fields) != 7 || fields[2] != "<" || fields[4] != "and" || fields[5] != ">" {
-			return radio.EventConfig{}, fmt.Errorf("sig: bad A5 config %q", s)
+			return meas.EventConfig{}, fmt.Errorf("sig: bad A5 config %q", s)
 		}
 		t1, err := num(fields[3])
 		if err != nil {
-			return radio.EventConfig{}, err
+			return meas.EventConfig{}, err
 		}
 		t2, err := num(fields[6])
 		if err != nil {
-			return radio.EventConfig{}, err
+			return meas.EventConfig{}, err
 		}
-		return radio.A5(q, t1, t2), nil
+		return meas.A5(q, t1, t2), nil
 	case "B1":
 		if len(fields) != 4 || fields[2] != ">" {
-			return radio.EventConfig{}, fmt.Errorf("sig: bad B1 config %q", s)
+			return meas.EventConfig{}, fmt.Errorf("sig: bad B1 config %q", s)
 		}
 		v, err := num(fields[3])
 		if err != nil {
-			return radio.EventConfig{}, err
+			return meas.EventConfig{}, err
 		}
-		return radio.B1(q, v), nil
+		return meas.B1(q, v), nil
 	default:
-		return radio.EventConfig{}, fmt.Errorf("sig: unknown event kind in %q", s)
+		return meas.EventConfig{}, fmt.Errorf("sig: unknown event kind in %q", s)
 	}
 }

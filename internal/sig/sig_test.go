@@ -11,7 +11,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 )
 
@@ -39,15 +39,15 @@ func sampleLog() *Log {
 			{Index: 3, Cell: ref("393@501390")},
 		},
 		MeasConfig: []rrc.MeasObject{
-			{Channels: []int{387410, 398410, 521310}, Event: radio.A2(radio.QuantityRSRP, -156)},
-			{Channels: []int{387410}, Event: radio.A3(radio.QuantityRSRP, 6)},
+			{Channels: []int{387410, 398410, 521310}, Event: meas.A2(meas.QuantityRSRP, -156)},
+			{Channels: []int{387410}, Event: meas.A3(meas.QuantityRSRP, 6)},
 		},
 	})
 	l.Append(at(4376), rrc.ReconfigComplete{Rat: band.RATNR})
 	l.Append(at(5100), rrc.MeasReport{Rat: band.RATNR, Entries: []rrc.MeasEntry{
-		{Cell: ref("393@521310"), Role: rrc.RolePCell, Meas: radio.Measurement{RSRPDBm: -81, RSRQDB: -10.5}},
-		{Cell: ref("273@387410"), Role: rrc.RoleSCell, Meas: radio.Measurement{RSRPDBm: -85, RSRQDB: -14.5}},
-		{Cell: ref("371@387410"), Role: rrc.RoleCandidate, Meas: radio.Measurement{RSRPDBm: -81, RSRQDB: -11.5}},
+		{Cell: ref("393@521310"), Role: rrc.RolePCell, Meas: meas.Measurement{RSRPDBm: -81, RSRQDB: -10.5}},
+		{Cell: ref("273@387410"), Role: rrc.RoleSCell, Meas: meas.Measurement{RSRPDBm: -85, RSRQDB: -14.5}},
+		{Cell: ref("371@387410"), Role: rrc.RoleCandidate, Meas: meas.Measurement{RSRPDBm: -81, RSRQDB: -11.5}},
 	}})
 	l.Append(at(6976), rrc.Reconfig{
 		Rat:           band.RATNR,
@@ -68,8 +68,8 @@ func sampleLog() *Log {
 		SpCell:    &spCell,
 		SCGSCells: []cell.Ref{ref("53@658080")},
 		MeasConfig: []rrc.MeasObject{
-			{Channels: []int{632736, 658080}, Event: radio.B1(radio.QuantityRSRP, -115)},
-			{Channels: []int{5815}, Event: radio.A5(radio.QuantityRSRP, -118, -120)},
+			{Channels: []int{632736, 658080}, Event: meas.B1(meas.QuantityRSRP, -115)},
+			{Channels: []int{5815}, Event: meas.A5(meas.QuantityRSRP, -118, -120)},
 		},
 	})
 	l.Append(at(21500), rrc.SCGFailureInfo{FailureType: rrc.SCGFailureRandomAccess})
@@ -203,13 +203,13 @@ func TestParseRejectsUnknownKind(t *testing.T) {
 }
 
 func TestParseEventConfig(t *testing.T) {
-	for _, ev := range []radio.EventConfig{
-		radio.A2(radio.QuantityRSRP, -156),
-		radio.A2(radio.QuantityRSRQ, -19.5),
-		radio.A3(radio.QuantityRSRQ, 6),
-		radio.A3(radio.QuantityRSRP, 5),
-		radio.A5(radio.QuantityRSRP, -118, -120),
-		radio.B1(radio.QuantityRSRP, -115),
+	for _, ev := range []meas.EventConfig{
+		meas.A2(meas.QuantityRSRP, -156),
+		meas.A2(meas.QuantityRSRQ, -19.5),
+		meas.A3(meas.QuantityRSRQ, 6),
+		meas.A3(meas.QuantityRSRP, 5),
+		meas.A5(meas.QuantityRSRP, -118, -120),
+		meas.B1(meas.QuantityRSRP, -115),
 	} {
 		got, err := ParseEventConfig(ev.String())
 		if err != nil {
@@ -278,7 +278,7 @@ func TestRoundTripProperty(t *testing.T) {
 					// The wire format carries one decimal; generate
 					// values on that grid so equality is exact.
 					{Cell: randRef(), Role: rrc.RoleSCell,
-						Meas: radio.Measurement{
+						Meas: meas.Measurement{
 							RSRPDBm: -80 - float64(rng.Intn(500))/10,
 							RSRQDB:  -10 - float64(rng.Intn(150))/10,
 						}},

@@ -196,6 +196,7 @@ func ranks(xs []float64) []float64 {
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore loopvet/floatcmp rank ties are exact duplicates by construction; epsilon-merging distinct values would corrupt Spearman ranks
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}
@@ -220,6 +221,7 @@ func pearson(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//lint:ignore loopvet/floatcmp guards the exact IEEE zero that would yield 0/0 in the division below; an epsilon would misreport near-constant series
 	if sxx == 0 || syy == 0 {
 		return math.NaN()
 	}

@@ -93,8 +93,8 @@ func aggregateNRWidth(set cell.Set) float64 {
 	}
 	add(set.MCG)
 	add(set.SCG)
-	if sum == 0 {
-		sum = 20
+	if sum <= 0 {
+		sum = 20 // no aggregated carriers: assume one 20 MHz LTE channel
 	}
 	return sum
 }

@@ -64,6 +64,8 @@ func GenerateWorkload(tl *trace.Timeline, op *policy.Operator, seed int64, w Wor
 	for i, s := range base {
 		v := s
 		switch w {
+		case WorkloadBulkDownload:
+			// Bulk download consumes the raw link rate unchanged.
 		case WorkloadFileUpload:
 			v.Mbps = s.Mbps * uplinkFraction
 		case WorkloadVideoStream:
@@ -96,6 +98,8 @@ func GenerateWorkload(tl *trace.Timeline, op *policy.Operator, seed int64, w Wor
 func StallSeconds(samples []Sample, w Workload) time.Duration {
 	nominal := videoBitrateMbps
 	switch w {
+	case WorkloadVideoStream:
+		// The playout bitrate initialized above is already nominal.
 	case WorkloadLiveStream:
 		nominal = liveBitrateMbps
 	case WorkloadBulkDownload, WorkloadFileUpload:

@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/mssn/loopscope/internal/band"
@@ -293,13 +294,13 @@ func (ex *extractor) resetONBookkeeping() {
 func (ex *extractor) releaseEvidence(kind ReleaseKind) Evidence {
 	ev := Evidence{Kind: kind, Reports: ex.reports}
 	if ex.cur.MCG != nil {
-		worst := 0.0
+		worst := math.Inf(1)
 		for _, sc := range ex.cur.MCG.SCells {
 			if ex.reports > 0 && !ex.seenInRept[sc] {
 				ev.UnmeasuredSCells = append(ev.UnmeasuredSCells, sc)
 			}
 			if m, ok := ex.lastMeas[sc]; ok {
-				if worst == 0 || m.Meas.RSRPDBm < worst {
+				if m.Meas.RSRPDBm < worst {
 					worst = m.Meas.RSRPDBm
 				}
 				if m.Meas.RSRQDB <= PoorRSRQThresholdDB {
@@ -307,7 +308,9 @@ func (ex *extractor) releaseEvidence(kind ReleaseKind) Evidence {
 				}
 			}
 		}
-		ev.WorstSCellRSRP = worst
+		if !math.IsInf(worst, 1) {
+			ev.WorstSCellRSRP = worst
+		}
 	}
 	if ex.lastMod != nil {
 		ev.PendingMod = ex.lastMod

@@ -8,7 +8,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
 )
@@ -37,11 +37,11 @@ func s1e3Log(cycles int) *sig.Log {
 		})
 		l.Append(at(base+3210), rrc.ReconfigComplete{Rat: band.RATNR})
 		l.Append(at(base+5000), rrc.MeasReport{Rat: band.RATNR, Entries: []rrc.MeasEntry{
-			{Cell: ref("393@521310"), Role: rrc.RolePCell, Meas: radio.Measurement{RSRPDBm: -81, RSRQDB: -10.5}},
-			{Cell: ref("273@387410"), Role: rrc.RoleSCell, Meas: radio.Measurement{RSRPDBm: -85, RSRQDB: -14.5}},
-			{Cell: ref("273@398410"), Role: rrc.RoleSCell, Meas: radio.Measurement{RSRPDBm: -82, RSRQDB: -10.5}},
-			{Cell: ref("393@501390"), Role: rrc.RoleSCell, Meas: radio.Measurement{RSRPDBm: -82, RSRQDB: -10.5}},
-			{Cell: ref("371@387410"), Role: rrc.RoleCandidate, Meas: radio.Measurement{RSRPDBm: -81, RSRQDB: -11.5}},
+			{Cell: ref("393@521310"), Role: rrc.RolePCell, Meas: meas.Measurement{RSRPDBm: -81, RSRQDB: -10.5}},
+			{Cell: ref("273@387410"), Role: rrc.RoleSCell, Meas: meas.Measurement{RSRPDBm: -85, RSRQDB: -14.5}},
+			{Cell: ref("273@398410"), Role: rrc.RoleSCell, Meas: meas.Measurement{RSRPDBm: -82, RSRQDB: -10.5}},
+			{Cell: ref("393@501390"), Role: rrc.RoleSCell, Meas: meas.Measurement{RSRPDBm: -82, RSRQDB: -10.5}},
+			{Cell: ref("371@387410"), Role: rrc.RoleCandidate, Meas: meas.Measurement{RSRPDBm: -81, RSRQDB: -11.5}},
 		}})
 		l.Append(at(base+5100), rrc.Reconfig{
 			Rat: band.RATNR, Serving: ref("393@521310"),
@@ -109,8 +109,8 @@ func TestExtractS1E1Unmeasured(t *testing.T) {
 	l.Append(at(2010), rrc.ReconfigComplete{Rat: band.RATNR})
 	for i := 0; i < 5; i++ {
 		l.Append(at(3000+i*500), rrc.MeasReport{Rat: band.RATNR, Entries: []rrc.MeasEntry{
-			{Cell: ref("540@501390"), Role: rrc.RolePCell, Meas: radio.Measurement{RSRPDBm: -80, RSRQDB: -10.5}},
-			{Cell: ref("309@398410"), Role: rrc.RoleSCell, Meas: radio.Measurement{RSRPDBm: -83, RSRQDB: -11.5}},
+			{Cell: ref("540@501390"), Role: rrc.RolePCell, Meas: meas.Measurement{RSRPDBm: -80, RSRQDB: -10.5}},
+			{Cell: ref("309@398410"), Role: rrc.RoleSCell, Meas: meas.Measurement{RSRPDBm: -83, RSRQDB: -11.5}},
 		}})
 	}
 	l.Append(at(7000), rrc.Release{Rat: band.RATNR})
@@ -136,8 +136,8 @@ func TestExtractS1E2Poor(t *testing.T) {
 	})
 	l.Append(at(910), rrc.ReconfigComplete{Rat: band.RATNR})
 	l.Append(at(1000), rrc.MeasReport{Rat: band.RATNR, Entries: []rrc.MeasEntry{
-		{Cell: ref("684@501390"), Role: rrc.RolePCell, Meas: radio.Measurement{RSRPDBm: -81, RSRQDB: -10.5}},
-		{Cell: ref("390@387410"), Role: rrc.RoleSCell, Meas: radio.Measurement{RSRPDBm: -108.5, RSRQDB: -25.5}},
+		{Cell: ref("684@501390"), Role: rrc.RolePCell, Meas: meas.Measurement{RSRPDBm: -81, RSRQDB: -10.5}},
+		{Cell: ref("390@387410"), Role: rrc.RoleSCell, Meas: meas.Measurement{RSRPDBm: -108.5, RSRQDB: -25.5}},
 	}})
 	l.Append(at(10500), rrc.Release{Rat: band.RATNR})
 	tl := Extract(l)

@@ -5,7 +5,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 )
 
@@ -93,9 +93,9 @@ func (n *nsaEngine) nrCells() []*cell.Cell {
 
 // strongestLTE picks the LTE cell with the best priority-adjusted
 // sampled RSRP, skipping any in the exclusion list.
-func (n *nsaEngine) strongestLTE(exclude ...*cell.Cell) (*cell.Cell, radio.Measurement) {
+func (n *nsaEngine) strongestLTE(exclude ...*cell.Cell) (*cell.Cell, meas.Measurement) {
 	var best *cell.Cell
-	var bestM radio.Measurement
+	var bestM meas.Measurement
 	var bestScore float64
 outer:
 	for _, c := range n.lteCells() {
@@ -182,7 +182,7 @@ func (n *nsaEngine) reportAndDecide() {
 		n.needConfig = false
 	}
 
-	samples := map[cell.Ref]radio.Measurement{}
+	samples := map[cell.Ref]meas.Measurement{}
 	var entries []rrc.MeasEntry
 	add := func(c *cell.Cell, role rrc.MeasRole) {
 		m := n.sample(c)
@@ -255,7 +255,7 @@ func (n *nsaEngine) reportAndDecide() {
 		}
 	} else if n.cfg.Op.DropSCGOnHandoverTo[n.pcell.Channel] {
 		// Leaving OPV's 5230 is RSRP-driven toward the mid-band cells.
-		a3 := radio.A3(radio.QuantityRSRP, 6)
+		a3 := meas.A3(meas.QuantityRSRP, 6)
 		var best *cell.Cell
 		for _, c := range n.lteCells() {
 			if c.Ref == n.pcell.Ref || n.problemChannel(c.Channel) {
@@ -287,7 +287,7 @@ func (n *nsaEngine) reportAndDecide() {
 			if !ok || !m.Measurable() {
 				continue
 			}
-			if !n.cfg.Op.B1.Entered(radio.Measurement{}, m) {
+			if !n.cfg.Op.B1.Entered(meas.Measurement{}, m) {
 				continue
 			}
 			// Among B1-qualified cells the network anchors on the one

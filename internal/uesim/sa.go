@@ -6,7 +6,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
-	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
 )
 
@@ -139,9 +139,9 @@ func (s *saEngine) establish() {
 // RSRP among those clearing the SIB threshold. The per-channel priority
 // (SIB cellReselectionPriority) makes re-anchoring deterministic enough
 // for loops to persist.
-func (s *saEngine) selectCell() (*cell.Cell, radio.Measurement) {
+func (s *saEngine) selectCell() (*cell.Cell, meas.Measurement) {
 	var best *cell.Cell
-	var bestM radio.Measurement
+	var bestM meas.Measurement
 	var bestScore float64
 	for _, c := range s.anchorCandidates() {
 		m := s.sample(c)
@@ -265,10 +265,10 @@ func servingChannels(pcell *cell.Cell, scells []*cell.Cell) []int {
 // reportAndDecide samples the environment, emits the measurement report,
 // and runs the network-side decision logic (Fig. 14's four-step cycle).
 func (s *saEngine) reportAndDecide() {
-	samples := map[cell.Ref]radio.Measurement{}
+	samples := map[cell.Ref]meas.Measurement{}
 	var entries []rrc.MeasEntry
 
-	addEntry := func(c *cell.Cell, role rrc.MeasRole) radio.Measurement {
+	addEntry := func(c *cell.Cell, role rrc.MeasRole) meas.Measurement {
 		m := s.sample(c)
 		samples[c.Ref] = m
 		if m.Measurable() {
@@ -358,7 +358,7 @@ func (s *saEngine) reportAndDecide() {
 			continue
 		}
 		var bestCand *cell.Cell
-		var bestM radio.Measurement
+		var bestM meas.Measurement
 		for _, c := range candidates {
 			if c.Channel != sc.Channel {
 				continue

@@ -21,6 +21,7 @@ import (
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/device"
 	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/radio"
 	"github.com/mssn/loopscope/internal/rrc"
@@ -126,7 +127,7 @@ func Run(cfg Config) *Result {
 			cfg.Loc = cfg.Cluster.Loc
 		}
 	}
-	if cfg.WalkSpeedMps == 0 {
+	if cfg.WalkSpeedMps <= 0 {
 		cfg.WalkSpeedMps = 1.4
 	}
 	e := &engine{
@@ -177,7 +178,7 @@ func (e *engine) pos() geo.Point {
 	for _, wp := range e.cfg.Path {
 		leg := cur.Dist(wp)
 		if leg >= remaining {
-			if leg == 0 {
+			if leg <= 0 {
 				return wp
 			}
 			t := remaining / leg
@@ -190,13 +191,13 @@ func (e *engine) pos() geo.Point {
 }
 
 // sample draws one faded measurement of a cell at the UE position.
-func (e *engine) sample(c *cell.Cell) radio.Measurement {
+func (e *engine) sample(c *cell.Cell) meas.Measurement {
 	return e.cfg.Field.Sample(c, e.pos(), e.rng)
 }
 
 // median returns the deterministic local median of a cell at the UE
 // position.
-func (e *engine) median(c *cell.Cell) radio.Measurement {
+func (e *engine) median(c *cell.Cell) meas.Measurement {
 	return e.cfg.Field.Median(c, e.pos())
 }
 

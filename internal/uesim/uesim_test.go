@@ -9,8 +9,8 @@ import (
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/device"
 	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/policy"
-	"github.com/mssn/loopscope/internal/radio"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/trace"
 )
@@ -323,7 +323,7 @@ func TestMeasurableFloorRespected(t *testing.T) {
 			_ = mr
 		}
 	}
-	_ = radio.MeasurableFloorDBm
+	_ = meas.MeasurableFloorDBm
 }
 
 func TestWalkingRunChangesBehaviour(t *testing.T) {

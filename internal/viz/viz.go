@@ -69,8 +69,8 @@ func CDF(values []float64, width, height int, unit string) []string {
 		}
 	}
 	lo, hi := sorted[0], sorted[len(sorted)-1]
-	if hi == lo {
-		hi = lo + 1
+	if hi <= lo {
+		hi = lo + 1 // flat series: widen the range to avoid dividing by zero
 	}
 	grid := make([][]byte, height)
 	for r := range grid {
