@@ -7,7 +7,10 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build lint loopvet staticcheck vulncheck test fuzz clean
+# Pipeline benchmarks recorded by bench-baseline into BENCH_pipeline.json.
+PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StringCorruptParse|StreamCorruptParse)$$
+
+.PHONY: all build lint loopvet staticcheck vulncheck test fuzz bench bench-baseline clean
 
 all: build lint test
 
@@ -34,6 +37,20 @@ test:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/sig
 	$(GO) test -run=NONE -fuzz=FuzzParseLenient$$ -fuzztime=$(FUZZTIME) ./internal/sig
+	$(GO) test -run=NONE -fuzz=FuzzStreamParity$$ -fuzztime=$(FUZZTIME) ./internal/sig
+
+# bench is the smoke run CI performs: every benchmark compiles and
+# executes once; full-study benchmarks skip themselves under -short.
+bench:
+	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-baseline refreshes the committed pipeline benchmark baseline.
+# Run it on a quiet machine; the JSON carries no timestamps, so the diff
+# shows only real performance movement.
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCH)' -benchmem -count=1 . \
+		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	@cat BENCH_pipeline.json
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,7 @@
 package loopscope_test
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"github.com/mssn/loopscope/internal/core"
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/experiments"
+	"github.com/mssn/loopscope/internal/faults"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/throughput"
@@ -33,9 +35,13 @@ func benchOpts() campaign.Options {
 }
 
 // benchExperiment runs one table/figure generator b.N times over a
-// shared context.
+// shared context. These build full study datasets, so the CI smoke run
+// (-short -benchtime=1x) skips them.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full-study benchmark in -short mode")
+	}
 	ctx := experiments.NewContext(benchOpts())
 	g, ok := experiments.ByID(id)
 	if !ok {
@@ -113,6 +119,104 @@ func BenchmarkEmitParse(b *testing.B) {
 	}
 }
 
+// benchLog simulates one showcase run for the emit/parse benchmarks.
+func benchLog(b *testing.B) *sig.Log {
+	b.Helper()
+	op, dep, cl := benchRunSetup(b)
+	return uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7}).Log
+}
+
+// BenchmarkEmit measures event-at-a-time rendering of a full capture.
+func BenchmarkEmit(b *testing.B) {
+	log := benchLog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStringParse is the pre-streaming pipeline shape: materialize
+// the capture text, then re-parse it. The baseline BenchmarkStreamParse
+// is measured against.
+func BenchmarkStringParse(b *testing.B) {
+	log := benchLog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sig.ParseString(log.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamParse is the streaming pipeline shape: events flow
+// through an Emitter and a pipe into the parser; the capture text is
+// never materialized.
+func BenchmarkStreamParse(b *testing.B) {
+	log := benchLog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		go func() {
+			em := sig.NewEmitter(pw)
+			for _, ev := range log.Events {
+				if em.Emit(ev.At, ev.Msg) != nil {
+					break
+				}
+			}
+			pw.CloseWithError(em.Close())
+		}()
+		if _, err := sig.Parse(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStringCorruptParse: the pre-streaming fault path — emit to a
+// string, corrupt the whole string, lenient-reparse.
+func BenchmarkStringCorruptParse(b *testing.B) {
+	log := benchLog(b)
+	rates := faults.Profile(0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj := faults.New(int64(i), rates)
+		if _, _, err := sig.ParseLenientString(inj.Corrupt(log.String())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCorruptParse: the streamed fault path campaign.runOnce
+// uses — corruption happens in flight between emitter and parser.
+func BenchmarkStreamCorruptParse(b *testing.B) {
+	log := benchLog(b)
+	rates := faults.Profile(0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj := faults.New(int64(i), rates)
+		pr, pw := io.Pipe()
+		go func() {
+			em := sig.NewEmitter(pw)
+			for _, ev := range log.Events {
+				if em.Emit(ev.At, ev.Msg) != nil {
+					break
+				}
+			}
+			pw.CloseWithError(em.Close())
+		}()
+		if _, _, err := sig.ParseLenient(inj.Reader(pr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtract measures CS-timeline extraction from a parsed log.
 func BenchmarkExtract(b *testing.B) {
 	op, dep, cl := benchRunSetup(b)
@@ -165,6 +269,9 @@ func BenchmarkFitModel(b *testing.B) {
 // BenchmarkFullStudy measures the entire sparse measurement campaign at
 // benchmark scale (all 11 areas, every run analyzed).
 func BenchmarkFullStudy(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-study benchmark in -short mode")
+	}
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		opts.Seed = int64(42 + i)

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document, used by `make bench-baseline` to record the
+// pipeline benchmark baseline (BENCH_pipeline.json) that future changes
+// regress against.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem . | benchjson > BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the emitted document. Only machine facts and benchmark
+// results go in — no timestamps, so regenerating on identical code and
+// hardware yields identical bytes.
+type Baseline struct {
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	doc, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   100   12345 ns/op   678 B/op   9 allocs/op
+//
+// keeping them in input order. The cpu line, when present, is carried
+// into the document.
+func parse(r io.Reader) (*Baseline, error) {
+	doc := &Baseline{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "cpu:"); ok {
+			doc.CPU = strings.TrimSpace(v)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "--- SKIP" continuation, not a result line
+		}
+		res := Result{
+			// Trim the GOMAXPROCS suffix so baselines compare across
+			// machines with different core counts.
+			Name: strings.SplitN(fields[0], "-", 2)[0],
+			Runs: runs,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			case "MB/s":
+				res.MBPerS = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/mssn/loopscope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEmit-8               	     100	    856183 ns/op	    5146 B/op	     248 allocs/op
+BenchmarkStreamParse-8        	      50	   2537041 ns/op	  704286 B/op	   10817 allocs/op
+BenchmarkEmitParse-8          	      30	   2876367 ns/op	  42.5 MB/s
+--- SKIP: BenchmarkFullStudy
+PASS
+ok  	github.com/mssn/loopscope	0.307s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var doc Baseline
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Go == "" || doc.GOOS == "" || doc.GOARCH == "" {
+		t.Errorf("missing toolchain facts: %+v", doc)
+	}
+	if doc.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(doc.Benchmarks))
+	}
+	emit := doc.Benchmarks[0]
+	if emit.Name != "BenchmarkEmit" || emit.Runs != 100 || emit.BytesPerOp != 5146 || emit.AllocsPerOp != 248 {
+		t.Errorf("first result = %+v", emit)
+	}
+	if doc.Benchmarks[2].MBPerS != 42.5 {
+		t.Errorf("MB/s = %v", doc.Benchmarks[2].MBPerS)
+	}
+}
+
+func TestNoBenchmarks(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(strings.NewReader("PASS\nok x 0.1s\n"), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1 when stdin has no benchmark lines", code)
+	}
+}
+
+func TestBadValue(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := "BenchmarkX-8 10 oops ns/op\n"
+	if code := run(strings.NewReader(in), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1 on a malformed value", code)
+	}
+}

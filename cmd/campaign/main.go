@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -22,16 +23,25 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment ID (fig6, table5, ...) or 'all'")
-		seed     = flag.Int64("seed", 42, "master seed of the study")
-		scale    = flag.Float64("scale", 1.0, "run-count scale factor")
-		duration = flag.Duration("duration", 5*time.Minute, "stationary run duration")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		export   = flag.String("export", "", "directory to export the dataset as CSV (runs/loops/locations)")
-		reportTo = flag.String("report", "", "write a full markdown report to this file")
+		exp      = fs.String("exp", "all", "experiment ID (fig6, table5, ...) or 'all'")
+		seed     = fs.Int64("seed", 42, "master seed of the study")
+		scale    = fs.Float64("scale", 1.0, "run-count scale factor")
+		duration = fs.Duration("duration", 5*time.Minute, "stationary run duration")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		export   = fs.String("export", "", "directory to export the dataset as CSV (runs/loops/locations)")
+		reportTo = fs.String("report", "", "write a full markdown report to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ids := loopscope.ExperimentIDs()
 	if *list {
@@ -41,26 +51,26 @@ func main() {
 		}
 		sort.Strings(keys)
 		for _, id := range keys {
-			fmt.Printf("%-8s %s\n", id, ids[id])
+			fmt.Fprintf(stdout, "%-8s %s\n", id, ids[id])
 		}
-		return
+		return 0
 	}
 
 	opts := loopscope.StudyOptions{Seed: *seed, RunScale: *scale, Duration: *duration}
 
 	if *export != "" {
-		if err := exportDataset(*export, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+		if err := exportDataset(stdout, *export, opts); err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *reportTo != "" {
 		f, err := os.Create(*reportTo)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
 		}
 		ropts := report.Options{Campaign: opts}
 		if *exp != "all" {
@@ -68,46 +78,44 @@ func main() {
 		}
 		if err := report.Write(f, ropts); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "campaign:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
 		}
-		fmt.Println("wrote", *reportTo)
-		return
-	}
-
-	run := func(id string) {
-		lines, _, ok := loopscope.Experiment(id, opts)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "campaign: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
-		fmt.Printf("==================== %s — %s\n", id, ids[id])
-		for _, l := range lines {
-			fmt.Println(l)
-		}
-		fmt.Println()
+		fmt.Fprintln(stdout, "wrote", *reportTo)
+		return 0
 	}
 
 	if *exp != "all" {
-		run(*exp)
-		return
+		lines, _, ok := loopscope.Experiment(*exp, opts)
+		if !ok {
+			fmt.Fprintf(stderr, "campaign: unknown experiment %q (try -list)\n", *exp)
+			return 2
+		}
+		printExperiment(stdout, *exp, ids[*exp], lines)
+		return 0
 	}
 	// The batch API shares one study dataset across all experiments.
 	for _, res := range loopscope.Experiments(nil, opts) {
-		fmt.Printf("==================== %s — %s\n", res.ID, res.Title)
-		for _, l := range res.Lines {
-			fmt.Println(l)
-		}
-		fmt.Println()
+		printExperiment(stdout, res.ID, res.Title, res.Lines)
 	}
+	return 0
+}
+
+// printExperiment renders one experiment's banner and result lines.
+func printExperiment(w io.Writer, id, title string, lines []string) {
+	fmt.Fprintf(w, "==================== %s — %s\n", id, title)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	fmt.Fprintln(w)
 }
 
 // exportDataset runs the study and writes the CSV tables.
-func exportDataset(dir string, opts loopscope.StudyOptions) error {
+func exportDataset(stdout io.Writer, dir string, opts loopscope.StudyOptions) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -131,7 +139,7 @@ func exportDataset(dir string, opts loopscope.StudyOptions) error {
 		if err := file.Close(); err != nil {
 			return err
 		}
-		fmt.Println("wrote", filepath.Join(dir, f.name))
+		fmt.Fprintln(stdout, "wrote", filepath.Join(dir, f.name))
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regenerate the experiment-output goldens with:
+//
+//	go test ./cmd/campaign -update
+var update = flag.Bool("update", false, "rewrite testdata goldens")
+
+// goldenArgs pins the reduced-scale study every golden is captured at.
+// Experiment output is deterministic in (seed, scale, duration), so any
+// drift in these bytes is an intentional analysis change or a bug.
+var goldenArgs = []string{"-seed", "42", "-scale", "0.05", "-duration", "40s"}
+
+// TestExperimentGoldens locks the CLI output of representative
+// experiments end-to-end: study execution, aggregation and rendering.
+func TestExperimentGoldens(t *testing.T) {
+	for _, exp := range []string{"table3", "fig6"} {
+		t.Run(exp, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			args := append(append([]string{}, goldenArgs...), "-exp", exp)
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			golden := filepath.Join("testdata", exp+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, stdout.String(), want)
+			}
+		})
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, id := range []string{"table3", "fig6", "table5"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing %q:\n%s", id, stdout.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(append(append([]string{}, goldenArgs...), "-exp", "nope"), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestExportDataset drives the CSV export path through a temp dir.
+func TestExportDataset(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	args := append(append([]string{}, goldenArgs...), "-export", dir)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"runs.csv", "loops.csv", "locations.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing export: %v", err)
+		}
+		if len(bytes.Split(data, []byte("\n"))) < 2 {
+			t.Errorf("%s: no data rows", name)
+		}
+	}
+}

@@ -189,3 +189,48 @@ func TestAnalyzeMissingFile(t *testing.T) {
 		t.Fatalf("exit = %d, want 1 for a missing file", code)
 	}
 }
+
+// oversizedCapture builds a >4 MiB capture whose middle line exceeds
+// the parser's per-line cap, with healthy records on both sides.
+func oversizedCapture(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("00:00:01.000 NR5G RRC OTA Packet -- UL_CCCH / RRCSetupRequest\n")
+	b.WriteString("  Physical Cell ID = 393, Freq = 521310\n")
+	b.WriteString(strings.Repeat("x", 4*1024*1024+512))
+	b.WriteString("\n")
+	b.WriteString("00:00:02.000 NR5G RRC OTA Packet -- DL_CCCH / RRCSetup\n")
+	b.WriteString("  Physical Cell ID = 393, Freq = 521310\n")
+	path := filepath.Join(t.TempDir(), "oversized.log")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAnalyzeOversizedLineStrict: the streaming parser hits the 4 MiB
+// line cap partway through the file and the CLI reports it with line
+// context instead of slurping the capture or printing a bufio error.
+func TestAnalyzeOversizedLineStrict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"analyze", oversizedCapture(t)}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if msg := errOut.String(); !strings.Contains(msg, "line 3") || !strings.Contains(msg, "4 MiB") {
+		t.Errorf("stderr should name the offending line and the cap: %q", msg)
+	}
+}
+
+// TestAnalyzeOversizedLineLenient: with -lenient the junk line is
+// skipped, both healthy records survive, and the salvage summary says
+// so.
+func TestAnalyzeOversizedLineLenient(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-lenient", "analyze", oversizedCapture(t)}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	msg := out.String()
+	if !strings.Contains(msg, "2 events kept") || !strings.Contains(msg, "1 lines skipped") {
+		t.Errorf("salvage summary missing from output:\n%s", msg)
+	}
+}

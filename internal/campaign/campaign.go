@@ -8,6 +8,7 @@ package campaign
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"runtime/debug"
@@ -59,6 +60,9 @@ type Options struct {
 	// MaxRetries bounds the retries of a failed run (default
 	// DefaultMaxRetries; negative disables retries).
 	MaxRetries int
+	// Workers bounds the RunArea worker pool; 0 means one worker per
+	// CPU. Record order and content are identical at any worker count.
+	Workers int
 }
 
 // withDefaults fills in the zero values.
@@ -232,7 +236,10 @@ func RunArea(op *policy.Operator, spec deploy.AreaSpec, opts Options) *AreaResul
 		}
 	}
 	res.Records = make([]*Record, len(jobs))
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -310,23 +317,47 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	// replayed verbatim.
 	seed := opts.Seed*1_000_003 + int64(locIdx)*7919 + int64(runIdx)*104729 +
 		int64(deployHash(dep.Area.ID)) + int64(attempt)*1_000_000_007
-	result := uesim.Run(uesim.Config{
+	cfg := uesim.Config{
 		Op:       op,
 		Field:    dep.Field,
 		Cluster:  cl,
 		Device:   opts.Device,
 		Duration: opts.Duration,
 		Seed:     seed,
-	})
-	log := result.Log
+	}
+	var log *sig.Log
 	if opts.FaultRates != nil {
+		// Stream the run end-to-end: the simulator emits into a pipe,
+		// the injector corrupts records in flight, and lenient parsing
+		// consumes the other end — the capture text is never
+		// materialized. A simulator panic is ferried back and re-raised
+		// here so the failure-record machinery above still sees it.
 		inj := faults.New(seed+2, *opts.FaultRates)
-		salvaged, sal, err := sig.ParseLenientString(inj.Corrupt(log.String()))
+		pr, pw := io.Pipe()
+		panicked := make(chan any, 1)
+		go func() {
+			defer close(panicked)
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+					pw.CloseWithError(io.ErrUnexpectedEOF) // unblock the parser
+				}
+			}()
+			em := sig.NewEmitter(pw)
+			uesim.RunTo(cfg, em)
+			pw.CloseWithError(em.Close())
+		}()
+		salvaged, sal, err := sig.ParseLenient(inj.Reader(pr))
+		if p, ok := <-panicked; ok {
+			panic(p)
+		}
 		if err != nil {
-			panic(err) // string reader cannot fail; recovered above if it somehow does
+			panic(err) // pipe error without a writer panic; recovered above
 		}
 		log = salvaged
 		rec.Salvage = sal
+	} else {
+		log = uesim.Run(cfg).Log
 	}
 	tl := trace.FromLog(log)
 	rec.Timeline = tl

@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/csv"
 	"math"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -387,6 +388,40 @@ func TestRunRetryRecovers(t *testing.T) {
 	}
 	if rec.Timeline == nil || len(rec.Timeline.Steps) == 0 {
 		t.Error("recovered record missing its timeline")
+	}
+}
+
+// TestRunAreaParallelEqualsSequential locks the determinism claim the
+// worker pool makes: any worker count yields the same records, in the
+// same order, as a forced single-worker execution — including when
+// every run streams through fault injection.
+func TestRunAreaParallelEqualsSequential(t *testing.T) {
+	op := policy.OPA()
+	spec := deploy.AreasFor("OPA")[0]
+	rates := faults.Profile(0.05)
+	cases := []struct {
+		name  string
+		rates *faults.Rates
+	}{
+		{"clean", nil},
+		{"faulted", &rates},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Seed: 42, Duration: 90 * time.Second, RunScale: 0.25, FaultRates: tc.rates}
+			par := RunArea(op, spec, opts)
+			opts.Workers = 1
+			seq := RunArea(op, spec, opts)
+			if len(par.Records) != len(seq.Records) {
+				t.Fatalf("parallel produced %d records, sequential %d", len(par.Records), len(seq.Records))
+			}
+			for i := range par.Records {
+				if !reflect.DeepEqual(par.Records[i], seq.Records[i]) {
+					t.Fatalf("record %d differs between parallel and single-worker execution:\n parallel: %+v\n sequential: %+v",
+						i, par.Records[i], seq.Records[i])
+				}
+			}
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ package faults
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"time"
@@ -117,79 +118,13 @@ type block struct {
 
 // Corrupt returns the text with the configured faults injected. The
 // input is treated as '\n'-separated lines; a trailing newline is
-// preserved.
+// preserved. It is the streaming Reader drained into a string; the two
+// paths are byte-identical for the same injector state.
 func (in *Injector) Corrupt(text string) string {
-	trailingNL := strings.HasSuffix(text, "\n")
-	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
-	blocks := toBlocks(lines)
-
-	// Structural pass 1: per-block clock jumps and adjacent swaps.
-	for i := 0; i < len(blocks); i++ {
-		b := &blocks[i]
-		if !b.event {
-			continue
-		}
-		if in.roll(in.rates.ClockJump) {
-			jump := time.Duration(in.rng.Intn(150_000)-30_000) * time.Millisecond
-			b.setTime(b.at + jump)
-		}
-		if in.roll(in.rates.ReorderSwap) && i+1 < len(blocks) {
-			blocks[i], blocks[i+1] = blocks[i+1], blocks[i]
-			i++ // don't swap the same pair back
-		}
-	}
-
-	// Structural pass 2: at most one logger restart — the clock resets
-	// to zero at a random event boundary.
-	if in.roll(in.rates.Restart) && len(blocks) > 2 {
-		cut := 1 + in.rng.Intn(len(blocks)-1)
-		var t0 time.Duration
-		for j := cut; j < len(blocks); j++ {
-			if blocks[j].event {
-				t0 = blocks[j].at
-				break
-			}
-		}
-		for j := cut; j < len(blocks); j++ {
-			if blocks[j].event {
-				blocks[j].setTime(blocks[j].at - t0)
-			}
-		}
-		banner := block{lines: restartBanner}
-		blocks = append(blocks[:cut], append([]block{banner}, blocks[cut:]...)...)
-	}
-
-	// Line-level pass over the flattened block list.
-	var out []string
-	for _, b := range blocks {
-		for _, line := range b.lines {
-			if in.roll(in.rates.Interleave) {
-				out = append(out, foreignLines[in.rng.Intn(len(foreignLines))])
-			}
-			switch {
-			case in.roll(in.rates.DropLine):
-				continue
-			case in.roll(in.rates.DupLine):
-				out = append(out, line, line)
-			case in.roll(in.rates.GarbleField):
-				out = append(out, in.garble(line))
-			default:
-				out = append(out, line)
-			}
-		}
-	}
-
-	res := strings.Join(out, "\n")
-	if trailingNL && res != "" {
-		res += "\n"
-	}
-
-	// Structural pass 3: at most one truncation, in the second half.
-	if in.roll(in.rates.Truncate) && len(res) > 1 {
-		cut := len(res)/2 + in.rng.Intn(len(res)-len(res)/2)
-		res = res[:cut]
-	}
-	return res
+	var sb strings.Builder
+	sb.Grow(len(text) + len(text)/8)
+	_, _ = io.Copy(&sb, in.Reader(strings.NewReader(text))) // a string source never errors
+	return sb.String()
 }
 
 // roll draws one Bernoulli trial.
@@ -230,27 +165,6 @@ func (in *Injector) garble(line string) string {
 		b[i] = garbleAlphabet[in.rng.Intn(len(garbleAlphabet))]
 	}
 	return string(b)
-}
-
-// toBlocks groups lines into event blocks (header plus its indented or
-// blank continuation lines); anything before the first header, and any
-// unrecognized line, is its own foreign block.
-func toBlocks(lines []string) []block {
-	var blocks []block
-	for _, line := range lines {
-		at, ok := headerTime(line)
-		switch {
-		case ok:
-			blocks = append(blocks, block{lines: []string{line}, at: at, event: true})
-		case len(blocks) > 0 && blocks[len(blocks)-1].event &&
-			(strings.HasPrefix(line, "  ") || strings.TrimSpace(line) == ""):
-			b := &blocks[len(blocks)-1]
-			b.lines = append(b.lines, line)
-		default:
-			blocks = append(blocks, block{lines: []string{line}})
-		}
-	}
-	return blocks
 }
 
 // setTime rewrites the block's header timestamp (clamped at zero).

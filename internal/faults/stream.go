@@ -1,0 +1,315 @@
+package faults
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"time"
+)
+
+// restartHazard is the per-boundary trigger probability once a restart
+// has been armed. A streaming corruptor cannot pick a uniformly random
+// boundary the way the whole-string algorithm did (the block count is
+// unknown until EOF), so the restart is modeled as a hazard instead:
+// one Restart-rate roll arms it at the first block boundary, then each
+// boundary fires with this probability. For captures longer than a few
+// dozen blocks the overall restart probability converges to the
+// configured rate.
+const restartHazard = 1.0 / 8
+
+// truncateHold bounds the bytes held back when Truncate is enabled: the
+// truncation point is only known at EOF, so the reader delays at most
+// this much output. Captures larger than twice this bound may truncate
+// slightly later than the whole-string algorithm would (the cut is
+// clamped to the held window); the cut still lands in the second half.
+const truncateHold = 1 << 20
+
+// Reader wraps r with the injector's fault profile: records are
+// corrupted as they flow through, so a multi-MiB capture is never
+// materialized. Corrupt is this reader drained into a string — the two
+// are byte-identical for the same injector state.
+//
+// The reader consumes the injector's seeded RNG stream. Use a fresh
+// injector (or accept that draws continue where the last corruption
+// left off) when reproducibility matters.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	cr := &corruptReader{in: in, br: bufio.NewReaderSize(r, 32*1024)}
+	if in.rates.Truncate > 0 {
+		cr.holding = true
+	}
+	return cr
+}
+
+// corruptReader is the streaming corruption state machine. Input lines
+// are grouped into blocks exactly as toBlocks does; each completed
+// block passes through the structural stage (clock jumps, a one-block
+// swap lookahead, the restart hazard) and then the line-level stage,
+// whose output is served to the caller — held back only by the bounded
+// truncation window.
+type corruptReader struct {
+	in *Injector
+	br *bufio.Reader
+
+	lineBuf []byte // reused by readLine
+	readAny bool   // any input byte seen
+	lastNL  bool   // most recent input line ended with '\n'
+	srcEOF  bool
+	srcErr  error // non-EOF input error, served after pending output
+
+	cur  *block // event block under assembly
+	held *block // event block awaiting its swap partner
+
+	emitIdx        int // blocks emitted, in final order
+	restartDecided bool
+	restartArmed   bool
+	restartDone    bool
+	rebase         bool // restart fired: rebase event clocks
+	haveT0         bool
+	t0             time.Duration
+
+	wroteLine bool // separator bookkeeping: a '\n' precedes every line but the first
+	outTotal  int  // total corrupted bytes produced (pre-truncation)
+	hold      []byte
+	holding   bool // Truncate enabled: route output through hold
+	serve     []byte
+	done      bool
+}
+
+func (cr *corruptReader) Read(p []byte) (int, error) {
+	for len(cr.serve) == 0 && !cr.done {
+		cr.step()
+	}
+	if len(cr.serve) == 0 {
+		if cr.srcErr != nil {
+			return 0, cr.srcErr
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, cr.serve)
+	cr.serve = cr.serve[n:]
+	return n, nil
+}
+
+// step consumes one input line (or finalizes at EOF), possibly
+// producing served output.
+func (cr *corruptReader) step() {
+	if cr.srcEOF {
+		cr.finish()
+		return
+	}
+	line, sawNL, err := cr.readLine()
+	if err != nil && err != io.EOF {
+		cr.srcErr = err
+		cr.srcEOF = true
+		cr.finish()
+		return
+	}
+	if err == io.EOF {
+		cr.srcEOF = true
+		if len(line) == 0 && !sawNL {
+			// EOF on a line boundary — unless the input was entirely
+			// empty, which the split-based algorithm treats as one
+			// empty line.
+			if cr.readAny {
+				cr.finish()
+				return
+			}
+		}
+	}
+	cr.readAny = true
+	cr.lastNL = sawNL
+	cr.feedLine(string(line))
+	if cr.srcEOF {
+		cr.finish()
+	}
+}
+
+// readLine reads up to the next '\n' (exclusive), growing past the
+// bufio window when needed — line length is unbounded, matching the
+// whole-string algorithm.
+func (cr *corruptReader) readLine() (line []byte, sawNL bool, err error) {
+	cr.lineBuf = cr.lineBuf[:0]
+	for {
+		chunk, e := cr.br.ReadSlice('\n')
+		cr.lineBuf = append(cr.lineBuf, chunk...)
+		if e == bufio.ErrBufferFull {
+			continue
+		}
+		if n := len(cr.lineBuf); n > 0 && cr.lineBuf[n-1] == '\n' {
+			return cr.lineBuf[:n-1], true, nil
+		}
+		return cr.lineBuf, false, e
+	}
+}
+
+// feedLine advances block assembly: headers open a new event block,
+// indented or blank lines continue one, anything else is its own
+// foreign block.
+func (cr *corruptReader) feedLine(line string) {
+	if at, ok := headerTime(line); ok {
+		cr.closeCur()
+		cr.cur = &block{lines: []string{line}, at: at, event: true}
+		return
+	}
+	if cr.cur != nil && (strings.HasPrefix(line, "  ") || strings.TrimSpace(line) == "") {
+		cr.cur.lines = append(cr.cur.lines, line)
+		return
+	}
+	cr.closeCur()
+	cr.dispatch(block{lines: []string{line}})
+}
+
+// closeCur dispatches the event block under assembly, if any.
+func (cr *corruptReader) closeCur() {
+	if cr.cur == nil {
+		return
+	}
+	b := *cr.cur
+	cr.cur = nil
+	cr.dispatch(b)
+}
+
+// dispatch is the structural stage: clock jumps and the swap lookahead.
+// A block arriving while another is held is the held block's swap
+// partner and is emitted first, skipping its own structural rolls —
+// the same skip the in-place algorithm performs after a swap.
+func (cr *corruptReader) dispatch(b block) {
+	if cr.held != nil {
+		h := *cr.held
+		cr.held = nil
+		cr.emitBlock(b)
+		cr.emitBlock(h)
+		return
+	}
+	if b.event {
+		if cr.in.roll(cr.in.rates.ClockJump) {
+			jump := time.Duration(cr.in.rng.Intn(150_000)-30_000) * time.Millisecond
+			b.setTime(b.at + jump)
+		}
+		if cr.in.roll(cr.in.rates.ReorderSwap) {
+			cr.held = &b
+			return
+		}
+	}
+	cr.emitBlock(b)
+}
+
+// emitBlock runs the restart hazard at the block boundary, rebases the
+// clock when a restart has fired, then hands the block to the
+// line-level stage.
+func (cr *corruptReader) emitBlock(b block) {
+	if cr.emitIdx >= 1 && !cr.restartDone {
+		if !cr.restartDecided {
+			cr.restartDecided = true
+			cr.restartArmed = cr.in.roll(cr.in.rates.Restart)
+			if !cr.restartArmed {
+				cr.restartDone = true
+			}
+		}
+		if cr.restartArmed && cr.in.rng.Float64() < restartHazard {
+			cr.restartDone = true
+			cr.rebase = true
+			cr.emitLines(block{lines: restartBanner})
+			cr.emitIdx++
+		}
+	}
+	if cr.rebase && b.event {
+		if !cr.haveT0 {
+			cr.haveT0 = true
+			cr.t0 = b.at
+		}
+		b.setTime(b.at - cr.t0)
+	}
+	cr.emitLines(b)
+	cr.emitIdx++
+}
+
+// emitLines is the line-level stage: per line, an optional interleaved
+// foreign record, then drop / duplicate / garble.
+func (cr *corruptReader) emitLines(b block) {
+	for _, line := range b.lines {
+		if cr.in.roll(cr.in.rates.Interleave) {
+			cr.writeLine(foreignLines[cr.in.rng.Intn(len(foreignLines))])
+		}
+		switch {
+		case cr.in.roll(cr.in.rates.DropLine):
+			continue
+		case cr.in.roll(cr.in.rates.DupLine):
+			cr.writeLine(line)
+			cr.writeLine(line)
+		case cr.in.roll(cr.in.rates.GarbleField):
+			cr.writeLine(cr.in.garble(line))
+		default:
+			cr.writeLine(line)
+		}
+	}
+}
+
+// writeLine emits one output line, '\n'-separated from its predecessor.
+func (cr *corruptReader) writeLine(line string) {
+	if cr.wroteLine {
+		cr.writeByte('\n')
+	}
+	cr.wroteLine = true
+	cr.writeBytes(line)
+}
+
+func (cr *corruptReader) writeByte(c byte) {
+	cr.outTotal++
+	if cr.holding {
+		cr.hold = append(cr.hold, c)
+		cr.spillHold()
+	} else {
+		cr.serve = append(cr.serve, c)
+	}
+}
+
+func (cr *corruptReader) writeBytes(s string) {
+	cr.outTotal += len(s)
+	if cr.holding {
+		cr.hold = append(cr.hold, s...)
+		cr.spillHold()
+	} else {
+		cr.serve = append(cr.serve, s...)
+	}
+}
+
+// spillHold keeps the hold-back window bounded: bytes beyond the
+// truncation window can never be cut and are served immediately.
+func (cr *corruptReader) spillHold() {
+	if excess := len(cr.hold) - truncateHold; excess > 0 {
+		cr.serve = append(cr.serve, cr.hold[:excess]...)
+		cr.hold = append(cr.hold[:0], cr.hold[excess:]...)
+	}
+}
+
+// finish flushes assembly state at EOF and applies the trailing-newline
+// and truncation rules.
+func (cr *corruptReader) finish() {
+	if cr.done {
+		return
+	}
+	cr.done = true
+	cr.closeCur()
+	if cr.held != nil {
+		// A swap rolled on the final block has no partner; it stays in
+		// place, as in the in-place algorithm.
+		h := *cr.held
+		cr.held = nil
+		cr.emitBlock(h)
+	}
+	if cr.lastNL && cr.wroteLine {
+		cr.writeByte('\n')
+	}
+	if cr.in.roll(cr.in.rates.Truncate) && cr.outTotal > 1 {
+		cut := cr.outTotal/2 + cr.in.rng.Intn(cr.outTotal-cr.outTotal/2)
+		if drop := cr.outTotal - cut; drop > 0 {
+			if drop > len(cr.hold) {
+				drop = len(cr.hold) // cut clamped to the held window
+			}
+			cr.hold = cr.hold[:len(cr.hold)-drop]
+		}
+	}
+	cr.serve = append(cr.serve, cr.hold...)
+	cr.hold = nil
+}

@@ -54,7 +54,7 @@ var corruptionTable = []struct {
 	{
 		name: "reordered", file: "corrupt_reordered.log",
 		seed: 1005, rates: faults.Rates{ReorderSwap: 0.2, DupLine: 0.05, Interleave: 0.05},
-		wantKept: 319, wantDropped: 3, wantSkipped: 89,
+		wantKept: 320, wantDropped: 2, wantSkipped: 91,
 	},
 }
 

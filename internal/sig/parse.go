@@ -113,7 +113,7 @@ func ParseLenientString(s string) (*Log, *Salvage, error) {
 // parse is the shared strict/lenient parsing loop.
 func parse(r io.Reader, lenient bool) (*Log, *Salvage, error) {
 	lr := &lineReader{br: bufio.NewReaderSize(r, 64*1024), max: maxLineBytes}
-	log := &Log{}
+	log := &Log{Events: make([]Event, 0, 256)}
 	sal := &Salvage{}
 	var (
 		cur     *rawEvent
@@ -202,13 +202,15 @@ func parse(r io.Reader, lenient bool) (*Log, *Salvage, error) {
 type lineReader struct {
 	br  *bufio.Reader
 	max int
+	buf []byte // reused across next calls; the returned string is a copy
 }
 
 // next returns the following line without its terminator. When the line
 // exceeds max bytes, the prefix is returned with tooLong=true and the
 // remainder is discarded.
 func (lr *lineReader) next() (line string, tooLong bool, err error) {
-	var buf []byte
+	buf := lr.buf[:0]
+	defer func() { lr.buf = buf }()
 	for {
 		chunk, err := lr.br.ReadSlice('\n')
 		if !tooLong {

@@ -112,8 +112,20 @@ type Result struct {
 	Log *sig.Log
 }
 
-// Run executes one simulated stationary run.
+// Run executes one simulated stationary run, collecting the capture in
+// memory.
 func Run(cfg Config) *Result {
+	log := &sig.Log{Events: make([]sig.Event, 0, 4096)}
+	RunTo(cfg, log)
+	return &Result{Log: log}
+}
+
+// RunTo executes one simulated run, emitting each event to sink as it
+// happens. With a *sig.Emitter over an io.Pipe this streams a run
+// straight into the parser without ever materializing the capture; with
+// a *sig.Log it is Run. Events arrive in strictly increasing time
+// order.
+func RunTo(cfg Config, sink sig.Sink) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 5 * time.Minute
 	}
@@ -131,9 +143,10 @@ func Run(cfg Config) *Result {
 		cfg.WalkSpeedMps = 1.4
 	}
 	e := &engine{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		log: &sig.Log{},
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		sink: sink,
+		last: -1,
 	}
 	if cfg.Op.Mode == policy.ModeSA {
 		e.runSA()
@@ -141,28 +154,29 @@ func Run(cfg Config) *Result {
 		e.runNSA()
 	}
 	// Stamp the run end so OFF tails are measured to the full duration.
-	if e.log.Duration() < cfg.Duration {
+	if e.last < cfg.Duration {
 		rat := band.RATNR
 		if cfg.Op.Mode == policy.ModeNSA {
 			rat = band.RATLTE
 		}
-		e.log.Append(cfg.Duration, rrc.MeasReport{Rat: rat})
+		sink.Append(cfg.Duration, rrc.MeasReport{Rat: rat})
 	}
-	return &Result{Log: e.log}
 }
 
 // engine is the shared simulation state.
 type engine struct {
-	cfg Config
-	rng *rand.Rand
-	log *sig.Log
-	now time.Duration
+	cfg  Config
+	rng  *rand.Rand
+	sink sig.Sink
+	now  time.Duration
+	last time.Duration // timestamp of the last emitted event, -1 when none
 }
 
 // emit appends a message at the current simulated time and advances the
 // clock by one millisecond so message ordering is strict.
 func (e *engine) emit(m rrc.Message) {
-	e.log.Append(e.now, m)
+	e.sink.Append(e.now, m)
+	e.last = e.now
 	e.now += time.Millisecond
 }
 

@@ -49,6 +49,13 @@ import (
 type (
 	// Log is a parsed signaling capture.
 	Log = sig.Log
+	// LogSink receives simulated signaling events one at a time; a *Log
+	// collects them, a *LogEmitter streams them as capture text.
+	LogSink = sig.Sink
+	// LogEmitter renders events to an io.Writer as they arrive, so a
+	// run can feed a parser through io.Pipe without building the full
+	// capture string.
+	LogEmitter = sig.Emitter
 	// Timeline is the serving-cell-set sequence extracted from a log.
 	Timeline = trace.Timeline
 	// CellSet is one serving cell set (MCG + optional SCG).
@@ -214,6 +221,16 @@ func BuildDeployment(op *Operator, area AreaSpec, seed int64) *Deployment {
 // SimulateRun executes one stationary run and returns its signaling
 // capture; analyze it with AnalyzeLog.
 func SimulateRun(cfg RunConfig) *RunResult { return uesim.Run(cfg) }
+
+// SimulateRunTo executes one stationary run, delivering each signaling
+// event to the sink as it happens instead of collecting a Log. With a
+// NewLogEmitter sink this streams the capture text end-to-end.
+func SimulateRunTo(cfg RunConfig, sink LogSink) { uesim.RunTo(cfg, sink) }
+
+// NewLogEmitter returns a LogSink that renders events to w in capture
+// format. Call Close when done to flush and recycle its buffers; the
+// first write error sticks and is returned from Close.
+func NewLogEmitter(w io.Writer) *LogEmitter { return sig.NewEmitter(w) }
 
 // RunStudy executes the full measurement study across all areas.
 func RunStudy(opts StudyOptions) *Study { return campaign.Run(opts) }
