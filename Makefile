@@ -8,9 +8,9 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
 # Pipeline benchmarks recorded by bench-baseline into BENCH_pipeline.json.
-PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StringCorruptParse|StreamCorruptParse)$$
+PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|StringCorruptParse|StreamCorruptParse)$$
 
-.PHONY: all build lint loopvet staticcheck vulncheck test fuzz bench bench-baseline clean
+.PHONY: all build lint loopvet staticcheck vulncheck test fuzz bench bench-baseline bench-compare clean
 
 all: build lint test
 
@@ -50,7 +50,13 @@ bench:
 bench-baseline:
 	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCH)' -benchmem -count=1 . \
 		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
-	@cat BENCH_pipeline.json
+
+# bench-compare reruns the pipeline benchmarks and diffs them against
+# the committed baseline: B/op or allocs/op growth beyond 2% fails,
+# ns/op drift is informational (wall time is machine-dependent).
+bench-compare:
+	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCH)' -benchmem -count=1 . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json
 
 clean:
 	$(GO) clean ./...

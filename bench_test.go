@@ -21,6 +21,7 @@ import (
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/experiments"
 	"github.com/mssn/loopscope/internal/faults"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/throughput"
@@ -172,6 +173,32 @@ func BenchmarkStreamParse(b *testing.B) {
 			pw.CloseWithError(em.Close())
 		}()
 		if _, err := sig.Parse(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamParseObserved is BenchmarkStreamParse with a live
+// metrics registry attached, guarding the observability overhead: the
+// collector flushes a handful of counters once per parse, so its B/op
+// must stay within a whisker of the unobserved baseline.
+func BenchmarkStreamParseObserved(b *testing.B) {
+	log := benchLog(b)
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		go func() {
+			em := sig.NewEmitter(pw)
+			for _, ev := range log.Events {
+				if em.Emit(ev.At, ev.Msg) != nil {
+					break
+				}
+			}
+			pw.CloseWithError(em.Close())
+		}()
+		if _, err := sig.ParseObserved(pr, reg); err != nil {
 			b.Fatal(err)
 		}
 	}

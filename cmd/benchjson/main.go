@@ -6,11 +6,19 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem . | benchjson > BENCH_pipeline.json
+//	go test -run='^$' -bench=. -benchmem . | benchjson -compare BENCH_pipeline.json
+//
+// With -compare the fresh results are diffed against the committed
+// baseline instead of printed: allocation regressions (B/op or
+// allocs/op growing beyond -tolerance percent) fail the run, ns/op
+// drift is reported but never fails (wall time is machine-dependent),
+// and a baseline benchmark missing from the fresh run fails.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -41,10 +49,19 @@ type Result struct {
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(stdin io.Reader, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		compareTo = fs.String("compare", "", "baseline JSON to diff the fresh results against instead of printing")
+		tolerance = fs.Float64("tolerance", 2, "allowed B/op and allocs/op growth in percent before -compare fails")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	doc, err := parse(stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
@@ -54,6 +71,9 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
 		return 1
 	}
+	if *compareTo != "" {
+		return compare(stdout, stderr, doc, *compareTo, *tolerance)
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -61,6 +81,70 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// compare diffs fresh results against the committed baseline. Memory
+// counters must be deterministic per machine class, so B/op and
+// allocs/op regressions beyond the tolerance fail; ns/op drift is only
+// reported. Fresh benchmarks absent from the baseline are noted so the
+// operator knows to regenerate it.
+func compare(stdout, stderr io.Writer, fresh *Baseline, baselinePath string, tolerancePct float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(stderr, "benchjson: bad baseline:", err)
+		return 1
+	}
+	got := make(map[string]Result, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		got[r.Name] = r
+	}
+	failures := 0
+	for _, want := range base.Benchmarks {
+		have, ok := got[want.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "FAIL %s: in baseline but missing from fresh run\n", want.Name)
+			failures++
+			continue
+		}
+		delete(got, want.Name)
+		bad := false
+		bad = reportDelta(stdout, want.Name, "B/op", want.BytesPerOp, have.BytesPerOp, tolerancePct) || bad
+		bad = reportDelta(stdout, want.Name, "allocs/op", want.AllocsPerOp, have.AllocsPerOp, tolerancePct) || bad
+		if bad {
+			failures++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok   %s: B/op %d, allocs/op %d (ns/op %.0f vs baseline %.0f, informational)\n",
+			want.Name, have.BytesPerOp, have.AllocsPerOp, have.NsPerOp, want.NsPerOp)
+	}
+	for name := range got {
+		fmt.Fprintf(stdout, "note %s: not in baseline (regenerate with `make bench-baseline`)\n", name)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.3g%%\n", failures, tolerancePct)
+		return 1
+	}
+	return 0
+}
+
+// reportDelta prints and returns whether `have` exceeds `want` by more
+// than the tolerance. Shrinking is never a failure.
+func reportDelta(w io.Writer, name, unit string, want, have int64, tolerancePct float64) bool {
+	if want <= 0 || have <= want {
+		return false
+	}
+	growth := 100 * float64(have-want) / float64(want)
+	if growth <= tolerancePct {
+		return false
+	}
+	fmt.Fprintf(w, "FAIL %s: %s %d vs baseline %d (+%.2f%% > %.3g%%)\n",
+		name, unit, have, want, growth, tolerancePct)
+	return true
 }
 
 // parse extracts benchmark lines of the form

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ ok  	github.com/mssn/loopscope	0.307s
 
 func TestParseBenchOutput(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
+	if code := run(nil, strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	var doc Baseline
@@ -48,7 +49,7 @@ func TestParseBenchOutput(t *testing.T) {
 
 func TestNoBenchmarks(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(strings.NewReader("PASS\nok x 0.1s\n"), &stdout, &stderr); code != 1 {
+	if code := run(nil, strings.NewReader("PASS\nok x 0.1s\n"), &stdout, &stderr); code != 1 {
 		t.Fatalf("exit = %d, want 1 when stdin has no benchmark lines", code)
 	}
 }
@@ -56,7 +57,93 @@ func TestNoBenchmarks(t *testing.T) {
 func TestBadValue(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	in := "BenchmarkX-8 10 oops ns/op\n"
-	if code := run(strings.NewReader(in), &stdout, &stderr); code != 1 {
+	if code := run(nil, strings.NewReader(in), &stdout, &stderr); code != 1 {
 		t.Fatalf("exit = %d, want 1 on a malformed value", code)
+	}
+}
+
+// writeBaseline round-trips a Baseline to a temp file for -compare.
+func writeBaseline(t *testing.T, doc Baseline) string {
+	t.Helper()
+	path := t.TempDir() + "/base.json"
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareOK(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkEmit", Runs: 100, NsPerOp: 900000, BytesPerOp: 5146, AllocsPerOp: 248},
+	}})
+	var stdout, stderr bytes.Buffer
+	in := "BenchmarkEmit-8 100 856183 ns/op 5146 B/op 248 allocs/op\n"
+	if code := run([]string{"-compare", path}, strings.NewReader(in), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok   BenchmarkEmit") {
+		t.Errorf("missing ok line: %s", stdout.String())
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkEmit", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},
+	}})
+	var stdout, stderr bytes.Buffer
+	// +1% on both counters: inside the default 2% tolerance.
+	in := "BenchmarkEmit-8 100 856183 ns/op 10100 B/op 1010 allocs/op\n"
+	if code := run([]string{"-compare", path}, strings.NewReader(in), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d within tolerance, stdout: %s", code, stdout.String())
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkEmit", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},
+	}})
+	var stdout, stderr bytes.Buffer
+	// +10% B/op: beyond the default 2% tolerance.
+	in := "BenchmarkEmit-8 100 856183 ns/op 11000 B/op 1000 allocs/op\n"
+	if code := run([]string{"-compare", path}, strings.NewReader(in), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 on a B/op regression; stdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL BenchmarkEmit: B/op") {
+		t.Errorf("missing FAIL line: %s", stdout.String())
+	}
+}
+
+func TestCompareSlowerButNotBigger(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkEmit", Runs: 100, NsPerOp: 100000, BytesPerOp: 10000, AllocsPerOp: 1000},
+	}})
+	var stdout, stderr bytes.Buffer
+	// 5x slower wall time but identical memory: ns/op is informational.
+	in := "BenchmarkEmit-8 100 500000 ns/op 10000 B/op 1000 allocs/op\n"
+	if code := run([]string{"-compare", path}, strings.NewReader(in), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, ns/op drift must not fail; stdout: %s", code, stdout.String())
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkEmit", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},
+		{Name: "BenchmarkGone", Runs: 100, BytesPerOp: 10, AllocsPerOp: 1},
+	}})
+	var stdout, stderr bytes.Buffer
+	in := "BenchmarkEmit-8 100 856183 ns/op 10000 B/op 1000 allocs/op\nBenchmarkNew-8 100 1 ns/op 0 B/op 0 allocs/op\n"
+	if code := run([]string{"-compare", path}, strings.NewReader(in), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 when a baseline benchmark vanished; stdout: %s", code, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "FAIL BenchmarkGone") {
+		t.Errorf("missing-vanished FAIL line absent: %s", out)
+	}
+	if !strings.Contains(out, "note BenchmarkNew") {
+		t.Errorf("fresh-benchmark note absent: %s", out)
 	}
 }

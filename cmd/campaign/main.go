@@ -4,9 +4,13 @@
 // Usage:
 //
 //	campaign [-exp id|all] [-seed N] [-scale F] [-duration D] [-list]
+//	         [-metrics out.json] [-debug-addr host:port]
 //
 // With -exp all (the default) every experiment runs in the paper's
-// presentation order, sharing one study dataset.
+// presentation order, sharing one study dataset. -metrics writes an
+// observability snapshot (stage spans, run/retry/salvage counters) as
+// stable JSON after the run; -debug-addr serves pprof, expvar and the
+// live snapshot while the study executes.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"github.com/mssn/loopscope"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/report"
 )
 
@@ -38,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		export   = fs.String("export", "", "directory to export the dataset as CSV (runs/loops/locations)")
 		reportTo = fs.String("report", "", "write a full markdown report to this file")
+		metrics  = fs.String("metrics", "", "write a metrics snapshot (stable JSON) to this file after the run")
+		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address while the study runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,24 +64,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := loopscope.StudyOptions{Seed: *seed, RunScale: *scale, Duration: *duration}
+	var reg *obs.Registry
+	if *metrics != "" || *debug != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+	if *debug != "" {
+		bound, stop, err := obs.StartDebugServer(*debug, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintln(stderr, "campaign: debug server on http://"+bound)
+	}
+	code := execute(stdout, stderr, ids, opts, *exp, *export, *reportTo)
+	if code == 0 && *metrics != "" {
+		if err := writeMetrics(*metrics, reg); err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "campaign: wrote metrics snapshot to", *metrics)
+	}
+	return code
+}
 
-	if *export != "" {
-		if err := exportDataset(stdout, *export, opts); err != nil {
+// writeMetrics dumps the registry snapshot to path.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// execute runs the selected mode (export, report, one experiment, or
+// all); the metrics snapshot is written by the caller afterwards.
+func execute(stdout, stderr io.Writer, ids map[string]string,
+	opts loopscope.StudyOptions, exp, export, reportTo string) int {
+
+	if export != "" {
+		if err := exportDataset(stdout, export, opts); err != nil {
 			fmt.Fprintln(stderr, "campaign:", err)
 			return 1
 		}
 		return 0
 	}
 
-	if *reportTo != "" {
-		f, err := os.Create(*reportTo)
+	if reportTo != "" {
+		f, err := os.Create(reportTo)
 		if err != nil {
 			fmt.Fprintln(stderr, "campaign:", err)
 			return 1
 		}
 		ropts := report.Options{Campaign: opts}
-		if *exp != "all" {
-			ropts.IDs = []string{*exp}
+		if exp != "all" {
+			ropts.IDs = []string{exp}
 		}
 		if err := report.Write(f, ropts); err != nil {
 			f.Close()
@@ -85,17 +134,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "campaign:", err)
 			return 1
 		}
-		fmt.Fprintln(stdout, "wrote", *reportTo)
+		fmt.Fprintln(stdout, "wrote", reportTo)
 		return 0
 	}
 
-	if *exp != "all" {
-		lines, _, ok := loopscope.Experiment(*exp, opts)
+	if exp != "all" {
+		lines, _, ok := loopscope.Experiment(exp, opts)
 		if !ok {
-			fmt.Fprintf(stderr, "campaign: unknown experiment %q (try -list)\n", *exp)
+			fmt.Fprintf(stderr, "campaign: unknown experiment %q (try -list)\n", exp)
 			return 2
 		}
-		printExperiment(stdout, *exp, ids[*exp], lines)
+		printExperiment(stdout, exp, ids[exp], lines)
 		return 0
 	}
 	// The batch API shares one study dataset across all experiments.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -73,6 +74,76 @@ func TestBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestMetricsSnapshotParity: -metrics writes a snapshot file and the
+// experiment output on stdout stays byte-identical to an unobserved
+// run — the CLI-level form of the observation-only guarantee.
+func TestMetricsSnapshotParity(t *testing.T) {
+	var plainOut, plainErr bytes.Buffer
+	args := append(append([]string{}, goldenArgs...), "-exp", "fig6")
+	if code := run(args, &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain exit %d, stderr: %s", code, plainErr.String())
+	}
+
+	snap := filepath.Join(t.TempDir(), "metrics.json")
+	var obsOut, obsErr bytes.Buffer
+	args = append(append([]string{}, goldenArgs...), "-exp", "fig6", "-metrics", snap)
+	if code := run(args, &obsOut, &obsErr); code != 0 {
+		t.Fatalf("-metrics exit %d, stderr: %s", code, obsErr.String())
+	}
+	if !bytes.Equal(plainOut.Bytes(), obsOut.Bytes()) {
+		t.Error("stdout changed when -metrics was attached")
+	}
+
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var doc struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name    string `json:"name"`
+			Samples int64  `json:"samples"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, data)
+	}
+	counters := map[string]int64{}
+	for _, c := range doc.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["campaign.runs"] == 0 {
+		t.Errorf("campaign.runs missing from snapshot: %v", counters)
+	}
+	if counters["uesim.runs"] != counters["campaign.runs"] {
+		t.Errorf("uesim.runs = %d, campaign.runs = %d; retry-free study should match",
+			counters["uesim.runs"], counters["campaign.runs"])
+	}
+	spans := false
+	for _, h := range doc.Histograms {
+		if strings.HasPrefix(h.Name, "stage.") && h.Samples > 0 {
+			spans = true
+		}
+	}
+	if !spans {
+		t.Error("snapshot has no stage span histograms")
+	}
+}
+
+// TestMetricsWriteError: an unwritable -metrics path fails the run
+// after the study completes.
+func TestMetricsWriteError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := append(append([]string{}, goldenArgs...), "-exp", "fig6",
+		"-metrics", filepath.Join(t.TempDir(), "no-such-dir", "m.json"))
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1 on an unwritable metrics path", code)
 	}
 }
 

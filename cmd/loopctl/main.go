@@ -9,6 +9,10 @@
 //	loopctl demo                 generate and analyze a sample loop run
 //
 // With "-" as the file name, analyze reads from standard input.
+// -metrics prints an observability snapshot (parse counters, stage
+// spans) to stderr after the command; -debug-addr serves pprof, expvar
+// and the live snapshot while the command runs. Neither changes the
+// analysis output.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"github.com/mssn/loopscope"
+	"github.com/mssn/loopscope/internal/obs"
 )
 
 func main() {
@@ -31,9 +36,30 @@ func main() {
 type app struct {
 	jsonOut bool
 	lenient bool
+	metrics bool
 	stdin   io.Reader
 	stdout  io.Writer
 	stderr  io.Writer
+	reg     *obs.Registry
+}
+
+// collector adapts the optional registry to the observation interface.
+// The untyped nil keeps `c != nil` guards false when metrics are off (a
+// typed nil *Registry inside the interface would defeat them).
+func (a *app) collector() obs.Collector {
+	if a.reg == nil {
+		return nil
+	}
+	return a.reg
+}
+
+// span opens a stage span when metrics are on; the returned func is
+// always safe to call.
+func (a *app) span(s obs.Stage) func() {
+	if a.reg == nil {
+		return func() {}
+	}
+	return a.reg.StartStage(s)
 }
 
 // run is main without the process exit: 0 ok, 1 failure, 2 usage.
@@ -43,6 +69,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fs.BoolVar(&a.jsonOut, "json", false, "emit machine-readable JSON instead of text")
 	fs.BoolVar(&a.lenient, "lenient", false, "salvage a damaged capture: quarantine malformed records and report what was dropped")
+	fs.BoolVar(&a.metrics, "metrics", false, "print an observability snapshot (stable JSON) to stderr after the command")
+	debug := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address while the command runs")
 	fs.Usage = func() { a.usage() }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +79,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(rest) == 0 {
 		a.usage()
 		return 2
+	}
+	if a.metrics || *debug != "" {
+		a.reg = obs.NewRegistry()
+	}
+	if *debug != "" {
+		bound, stop, err := obs.StartDebugServer(*debug, a.reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "loopctl:", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintln(stderr, "loopctl: debug server on http://"+bound)
 	}
 	var err error
 	switch rest[0] {
@@ -76,6 +116,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loopctl:", err)
 		return 1
 	}
+	if a.metrics {
+		if werr := a.reg.WriteJSON(stderr); werr != nil {
+			fmt.Fprintln(stderr, "loopctl:", werr)
+			return 1
+		}
+	}
 	return 0
 }
 
@@ -83,7 +129,9 @@ func (a *app) usage() {
 	fmt.Fprintf(a.stderr, `loopctl — 5G ON-OFF loop analyzer
 
 usage (add -json before the subcommand for machine-readable output;
-add -lenient to salvage corrupted captures instead of aborting):
+add -lenient to salvage corrupted captures instead of aborting;
+add -metrics to print an observability snapshot to stderr;
+add -debug-addr host:port to serve pprof/expvar while running):
   loopctl analyze <logfile|->   analyze an NSG-style signaling log
   loopctl demo                  generate and analyze a sample loop run
   loopctl export <file>         write a simulated loop capture to a file
@@ -121,10 +169,13 @@ func (a *app) export(path string) error {
 	op := loopscope.OperatorByName("OPT")
 	dep := loopscope.BuildDeployment(op, loopscope.Areas()[0], 43)
 	cl := bestLoopSite(dep)
+	endSim := a.span(obs.StageSimulate)
 	res := loopscope.SimulateRun(loopscope.RunConfig{
 		Op: op, Field: dep.Field, Cluster: cl,
 		Duration: 5 * time.Minute, Seed: 7,
+		Metrics: a.collector(),
 	})
+	endSim()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -155,14 +206,18 @@ func (a *app) analyze(path string) error {
 		r = f
 	}
 	if a.lenient {
-		log, sal, err := loopscope.ParseLogLenient(r)
+		endParse := a.span(obs.StageParse)
+		log, sal, err := loopscope.ParseLogLenientObserved(r, a.collector())
+		endParse()
 		if err != nil {
 			return err
 		}
 		a.reportWithSalvage(log, sal)
 		return nil
 	}
-	log, err := loopscope.ParseLog(r)
+	endParse := a.span(obs.StageParse)
+	log, err := loopscope.ParseLogObserved(r, a.collector())
+	endParse()
 	if err != nil {
 		return err
 	}
@@ -178,10 +233,13 @@ func (a *app) demo() error {
 	dep := loopscope.BuildDeployment(op, area, 43)
 	// Pick the location whose archetype loops most reliably.
 	cl := bestLoopSite(dep)
+	endSim := a.span(obs.StageSimulate)
 	res := loopscope.SimulateRun(loopscope.RunConfig{
 		Op: op, Field: dep.Field, Cluster: cl,
 		Duration: 3 * time.Minute, Seed: 7,
+		Metrics: a.collector(),
 	})
+	endSim()
 	fmt.Fprintf(a.stdout, "simulated 3-minute run at %v (%s, %s)\n\n", cl.Loc, op.Name, op.Mode)
 	a.report(res.Log)
 	return nil
@@ -219,6 +277,10 @@ type jsonStep struct {
 	State string  `json:"state"`
 	Set   string  `json:"set"`
 	Cause string  `json:"cause,omitempty"`
+	// WorstSCellRSRPDBm is only present when the step's release evidence
+	// carries an SCell measurement report (Evidence.HasSCellReport); the
+	// +Inf "no report" sentinel is never serialized.
+	WorstSCellRSRPDBm *float64 `json:"worst_scell_rsrp_dbm,omitempty"`
 }
 
 type jsonLoop struct {
@@ -235,8 +297,12 @@ type jsonLoop struct {
 
 // reportJSON writes the analysis as JSON.
 func (a *app) reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
+	endExtract := a.span(obs.StageExtract)
 	tl := loopscope.ExtractTimeline(log)
+	endExtract()
+	endDetect := a.span(obs.StageDetect)
 	an := loopscope.Analyze(tl)
+	endDetect()
 	occ := tl.Occupy()
 	doc := jsonReport{
 		Events:    log.Len(),
@@ -263,6 +329,10 @@ func (a *app) reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 		js := jsonStep{AtS: s.At.Seconds(), State: s.Set.State().String(), Set: s.Set.String()}
 		if s.Evidence.Kind.String() != "none" {
 			js.Cause = s.Evidence.Kind.String()
+		}
+		if s.Evidence.HasSCellReport() {
+			rsrp := s.Evidence.WorstSCellRSRP
+			js.WorstSCellRSRPDBm = &rsrp
 		}
 		doc.Steps = append(doc.Steps, js)
 	}
@@ -309,7 +379,9 @@ func (a *app) reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
 		}
 		fmt.Fprintln(a.stdout)
 	}
+	endExtract := a.span(obs.StageExtract)
 	tl := loopscope.ExtractTimeline(log)
+	endExtract()
 	occ := tl.Occupy()
 	fmt.Fprintf(a.stdout, "events: %d, duration: %s, cell-set changes: %d\n",
 		log.Len(), log.Duration().Round(time.Millisecond), len(tl.Steps))
@@ -334,7 +406,9 @@ func (a *app) reportWithSalvage(log *loopscope.Log, sal *loopscope.Salvage) {
 		}
 	}
 
+	endDetect := a.span(obs.StageDetect)
 	an := loopscope.Analyze(tl)
+	endDetect()
 	if !an.HasLoop() {
 		fmt.Fprintln(a.stdout, "\nno 5G ON-OFF loop detected (form I)")
 		return

@@ -162,6 +162,100 @@ func TestDemo(t *testing.T) {
 	}
 }
 
+// TestMetricsFlagParity: -metrics appends a JSON snapshot to stderr and
+// leaves stdout byte-identical to an unobserved run.
+func TestMetricsFlagParity(t *testing.T) {
+	path := capturePath(t)
+	var plainOut, plainErr bytes.Buffer
+	if code := run([]string{"analyze", path}, strings.NewReader(""), &plainOut, &plainErr); code != 0 {
+		t.Fatalf("plain exit = %d; stderr: %s", code, plainErr.String())
+	}
+	var obsOut, obsErr bytes.Buffer
+	if code := run([]string{"-metrics", "analyze", path}, strings.NewReader(""), &obsOut, &obsErr); code != 0 {
+		t.Fatalf("-metrics exit = %d; stderr: %s", code, obsErr.String())
+	}
+	if plainOut.String() != obsOut.String() {
+		t.Error("stdout changed when -metrics was attached")
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name string `json:"name"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(obsErr.Bytes(), &snap); err != nil {
+		t.Fatalf("stderr is not a JSON snapshot: %v\n%s", err, obsErr.String())
+	}
+	found := map[string]int64{}
+	for _, c := range snap.Counters {
+		found[c.Name] = c.Value
+	}
+	if found["sig.lines.read"] == 0 {
+		t.Errorf("snapshot missing sig.lines.read: %v", found)
+	}
+	for _, want := range []string{"stage.parse.spans", "stage.extract.spans", "stage.detect.spans"} {
+		if found[want] != 1 {
+			t.Errorf("%s = %d, want 1", want, found[want])
+		}
+	}
+}
+
+// TestMetricsFlagDemo: the demo path routes the simulator's collector
+// through RunConfig.Metrics.
+func TestMetricsFlagDemo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-metrics", "demo"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "uesim.events.emitted") {
+		t.Errorf("demo snapshot missing simulator counters:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "stage.simulate.seconds") {
+		t.Errorf("demo snapshot missing the simulate span:\n%s", errOut.String())
+	}
+}
+
+// TestJSONWorstSCellRSRP: the S1E2-style "poor SCell" evidence surfaces
+// its measured RSRP in JSON, and steps without a measurement report
+// omit the field entirely — the +Inf no-report sentinel (and the old 0
+// sentinel it replaced) must never leak into the document.
+func TestJSONWorstSCellRSRP(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "analyze", capturePath(t)}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errOut.String())
+	}
+	var doc struct {
+		Steps []struct {
+			Cause string   `json:"cause"`
+			RSRP  *float64 `json:"worst_scell_rsrp_dbm"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	populated := 0
+	for i, s := range doc.Steps {
+		if s.RSRP == nil {
+			continue
+		}
+		populated++
+		if *s.RSRP == 0 {
+			t.Errorf("step %d: worst_scell_rsrp_dbm = 0, the old phantom sentinel leaked", i)
+		}
+		if *s.RSRP > -20 || *s.RSRP < -160 {
+			t.Errorf("step %d: worst_scell_rsrp_dbm = %v, not a plausible RSRP", i, *s.RSRP)
+		}
+	}
+	// The looping fixture releases with measured SCells, so the field
+	// must actually appear — guarding against omitempty eating it.
+	if populated == 0 {
+		t.Error("no step carries worst_scell_rsrp_dbm; the evidence consumer is dead")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		nil,                       // no subcommand

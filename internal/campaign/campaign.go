@@ -19,6 +19,7 @@ import (
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/device"
 	"github.com/mssn/loopscope/internal/faults"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
@@ -63,6 +64,12 @@ type Options struct {
 	// Workers bounds the RunArea worker pool; 0 means one worker per
 	// CPU. Record order and content are identical at any worker count.
 	Workers int
+	// Metrics, when non-nil, receives stage spans and run counters
+	// (runs, retries, panics, salvaged runs — in total and per
+	// operator/area). Pure observation: records, goldens and experiment
+	// output are byte-identical with or without a collector; the
+	// parity test enforces this.
+	Metrics obs.Collector
 }
 
 // withDefaults fills in the zero values.
@@ -279,7 +286,38 @@ func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		retry.Attempts = attempt + 1
 		rec = retry
 	}
+	if c := opts.Metrics; c != nil {
+		label := metricLabel(op.Name, dep.Area.ID)
+		c.Add("campaign.runs", 1)
+		c.Add("campaign.runs"+label, 1)
+		if n := int64(rec.Attempts - 1); n > 0 {
+			c.Add("campaign.retries", n)
+			c.Add("campaign.retries"+label, n)
+		}
+		if rec.Failed() {
+			c.Add("campaign.failures", 1)
+			c.Add("campaign.failures"+label, 1)
+		}
+		if rec.Salvage != nil && !rec.Salvage.Clean() {
+			c.Add("campaign.salvaged_runs", 1)
+			c.Add("campaign.salvaged_runs"+label, 1)
+		}
+	}
 	return rec
+}
+
+// metricLabel renders the per-operator/area counter suffix, e.g.
+// "{op=OPT,area=A1}".
+func metricLabel(op, area string) string {
+	return "{op=" + op + ",area=" + area + "}"
+}
+
+// startStage opens a stage span on c, tolerating a disabled collector.
+func startStage(c obs.Collector, s obs.Stage) func() {
+	if c == nil {
+		return func() {}
+	}
+	return c.StartStage(s)
 }
 
 // testHookPanic, when set by a test, forces a run attempt to panic —
@@ -308,6 +346,10 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 			rec.Speeds = nil
 			rec.MeasCount = 0
 			rec.Salvage = nil
+			if c := opts.Metrics; c != nil {
+				c.Add("campaign.panics", 1)
+				c.Add("campaign.panics"+metricLabel(op.Name, dep.Area.ID), 1)
+			}
 		}
 	}()
 	if testHookPanic != nil && testHookPanic(dep.Area.ID, locIdx, runIdx, attempt) {
@@ -324,6 +366,7 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		Device:   opts.Device,
 		Duration: opts.Duration,
 		Seed:     seed,
+		Metrics:  opts.Metrics,
 	}
 	var log *sig.Log
 	if opts.FaultRates != nil {
@@ -332,7 +375,11 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		// consumes the other end — the capture text is never
 		// materialized. A simulator panic is ferried back and re-raised
 		// here so the failure-record machinery above still sees it.
-		inj := faults.New(seed+2, *opts.FaultRates)
+		// The simulate and parse spans overlap by construction: the
+		// emitter blocks on the pipe while the parser drains it, so
+		// each span measures its stage's wall-clock window, not
+		// exclusive CPU time (see docs/OBSERVABILITY.md).
+		inj := faults.New(seed+2, *opts.FaultRates).WithCollector(opts.Metrics)
 		pr, pw := io.Pipe()
 		panicked := make(chan any, 1)
 		go func() {
@@ -343,11 +390,15 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 					pw.CloseWithError(io.ErrUnexpectedEOF) // unblock the parser
 				}
 			}()
+			endSim := startStage(opts.Metrics, obs.StageSimulate)
 			em := sig.NewEmitter(pw)
 			uesim.RunTo(cfg, em)
+			endSim()
 			pw.CloseWithError(em.Close())
 		}()
-		salvaged, sal, err := sig.ParseLenient(inj.Reader(pr))
+		endParse := startStage(opts.Metrics, obs.StageParse)
+		salvaged, sal, err := sig.ParseLenientObserved(inj.Reader(pr), opts.Metrics)
+		endParse()
 		if p, ok := <-panicked; ok {
 			panic(p)
 		}
@@ -357,11 +408,18 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		log = salvaged
 		rec.Salvage = sal
 	} else {
+		endSim := startStage(opts.Metrics, obs.StageSimulate)
 		log = uesim.Run(cfg).Log
+		endSim()
 	}
+	endExtract := startStage(opts.Metrics, obs.StageExtract)
 	tl := trace.FromLog(log)
+	endExtract()
 	rec.Timeline = tl
+	endDetect := startStage(opts.Metrics, obs.StageDetect)
 	rec.Analysis = core.Analyze(tl)
+	endDetect()
+	endAnalyze := startStage(opts.Metrics, obs.StageAnalyze)
 	for _, e := range log.Events {
 		if mr, ok := e.Msg.(rrc.MeasReport); ok {
 			rec.MeasCount += len(mr.Entries)
@@ -370,6 +428,7 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	if opts.KeepSpeeds {
 		rec.Speeds = throughput.Generate(tl, op, seed+1)
 	}
+	endAnalyze()
 	return rec
 }
 

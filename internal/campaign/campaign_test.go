@@ -12,6 +12,7 @@ import (
 	"github.com/mssn/loopscope/internal/core"
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/faults"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/policy"
 )
 
@@ -422,6 +423,91 @@ func TestRunAreaParallelEqualsSequential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMetricsParity is the tentpole guarantee of the observability
+// layer: attaching a live collector must not change a single bit of the
+// study output. The record slices — timelines, loops, salvage reports,
+// speeds — must be deeply equal with metrics off and on.
+func TestMetricsParity(t *testing.T) {
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1]
+	rates := faults.Profile(0.05)
+	for _, tc := range []struct {
+		name  string
+		rates *faults.Rates
+	}{
+		{"clean", nil},
+		{"faulted", &rates},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Options{Seed: 42, Duration: 60 * time.Second, RunScale: -1, FaultRates: tc.rates}
+			plain := RunArea(op, spec, base)
+
+			observed := base
+			reg := obs.NewRegistry()
+			observed.Metrics = reg
+			withMetrics := RunArea(op, spec, observed)
+
+			if len(plain.Records) != len(withMetrics.Records) {
+				t.Fatalf("record counts differ: %d vs %d", len(plain.Records), len(withMetrics.Records))
+			}
+			for i := range plain.Records {
+				if !reflect.DeepEqual(plain.Records[i], withMetrics.Records[i]) {
+					t.Fatalf("record %d differs once metrics are attached:\n off: %+v\n on:  %+v",
+						i, plain.Records[i], withMetrics.Records[i])
+				}
+			}
+			// The collector actually observed the area: one campaign.runs
+			// increment per record, and the pipeline stages have spans.
+			if got := reg.Counter("campaign.runs").Value(); got != int64(len(withMetrics.Records)) {
+				t.Errorf("campaign.runs = %d, want %d", got, len(withMetrics.Records))
+			}
+			label := metricLabel("OPT", spec.ID)
+			if got := reg.Counter("campaign.runs" + label).Value(); got != int64(len(withMetrics.Records)) {
+				t.Errorf("campaign.runs%s = %d, want %d", label, got, len(withMetrics.Records))
+			}
+			for _, stage := range []string{"simulate", "extract", "detect", "analyze"} {
+				if got := reg.Counter("stage." + stage + ".spans").Value(); got == 0 {
+					t.Errorf("stage.%s.spans = 0, want > 0", stage)
+				}
+			}
+			if tc.rates != nil {
+				if got := reg.Counter("stage.parse.spans").Value(); got == 0 {
+					t.Error("faulted pipeline should record parse spans")
+				}
+				if got := reg.Counter("sig.lines.read").Value(); got == 0 {
+					t.Error("observed parse should count lines read")
+				}
+			}
+		})
+	}
+}
+
+// TestMetricsPanicCounter: an induced panic inside a run increments
+// campaign.panics without changing the retry/failure semantics.
+func TestMetricsPanicCounter(t *testing.T) {
+	op := policy.OPT()
+	spec := deploy.AreasFor("OPT")[1]
+	testHookPanic = func(area string, locIdx, runIdx, attempt int) bool {
+		return locIdx == 1 && runIdx == 0 && attempt == 0
+	}
+	defer func() { testHookPanic = nil }()
+	reg := obs.NewRegistry()
+	opts := Options{Seed: 42, Duration: 30 * time.Second, RunScale: -1, Metrics: reg}
+	res := RunArea(op, spec, opts)
+	if len(res.Records) == 0 {
+		t.Fatal("no records")
+	}
+	if got := reg.Counter("campaign.panics").Value(); got != 1 {
+		t.Errorf("campaign.panics = %d, want 1 after an induced first-attempt panic", got)
+	}
+	if got := reg.Counter("campaign.retries").Value(); got != 1 {
+		t.Errorf("campaign.retries = %d, want 1 (the panicked run recovered on retry)", got)
+	}
+	if got := reg.Counter("campaign.failures").Value(); got != 0 {
+		t.Errorf("campaign.failures = %d, want 0", got)
 	}
 }
 

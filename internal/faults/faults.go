@@ -18,6 +18,8 @@ import (
 	"math/rand"
 	"strings"
 	"time"
+
+	"github.com/mssn/loopscope/internal/obs"
 )
 
 // Rates configures the probability of each fault class. Line-level
@@ -87,11 +89,28 @@ func Profile(rate float64) Rates {
 type Injector struct {
 	rates Rates
 	rng   *rand.Rand
+	c     obs.Collector
 }
 
 // New returns an injector seeded for reproducible corruption.
 func New(seed int64, rates Rates) *Injector {
 	return &Injector{rates: rates, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WithCollector routes per-fault-kind injection counts
+// ("faults.<kind>") into c and returns the injector. Counting never
+// consumes the RNG stream, so the corrupted output is byte-identical
+// with or without a collector.
+func (in *Injector) WithCollector(c obs.Collector) *Injector {
+	in.c = c
+	return in
+}
+
+// count bumps one fault-kind counter when a collector is attached.
+func (in *Injector) count(name string) {
+	if in.c != nil {
+		in.c.Add(name, 1)
+	}
 }
 
 // foreignLines is the pool of interleaved non-RRC diagnostics.

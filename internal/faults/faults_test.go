@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/mssn/loopscope/internal/obs"
 )
 
 // sample builds a small clean capture-shaped text.
@@ -22,6 +24,45 @@ func TestZeroRatesAreIdentity(t *testing.T) {
 	if got := New(1, Rates{}).Corrupt(text); got != text {
 		t.Error("zero-rate injector must not modify the capture")
 	}
+}
+
+// TestCollectorDoesNotPerturbOutput is the faults side of the metrics
+// parity guarantee: counting what was injected never consumes the RNG
+// stream, so the corrupted text is byte-identical with and without a
+// collector attached.
+func TestCollectorDoesNotPerturbOutput(t *testing.T) {
+	text := sample()
+	for _, rates := range []Rates{Uniform(0.2), Profile(0.10), {Restart: 1, Truncate: 1, ClockJump: 0.3}} {
+		plain := New(42, rates).Corrupt(text)
+		reg := obs.NewRegistry()
+		observed := New(42, rates).WithCollector(reg).Corrupt(text)
+		if plain != observed {
+			t.Fatalf("rates %+v: corruption diverged once a collector was attached", rates)
+		}
+	}
+}
+
+// TestCollectorCountsFaults: each fired fault class shows up under its
+// faults.* counter.
+func TestCollectorCountsFaults(t *testing.T) {
+	text := sample()
+	reg := obs.NewRegistry()
+	New(42, Rates{GarbleField: 0.3, DropLine: 0.2, DupLine: 0.2}).WithCollector(reg).Corrupt(text)
+	for _, name := range []string{"faults.garble_field", "faults.drop_line", "faults.dup_line"} {
+		if got := reg.Counter(name).Value(); got == 0 {
+			t.Errorf("%s = 0, want > 0 at these rates on a 40-event capture", name)
+		}
+	}
+	reg2 := obs.NewRegistry()
+	New(3, Rates{Truncate: 1, Restart: 1}).WithCollector(reg2).Corrupt(text)
+	if got := reg2.Counter("faults.truncate").Value(); got != 1 {
+		t.Errorf("faults.truncate = %d, want 1", got)
+	}
+	if got := reg2.Counter("faults.restart").Value(); got == 0 {
+		t.Error("faults.restart = 0, want > 0 at rate 1")
+	}
+	// No collector, no panic: the nil path stays silent.
+	New(42, Uniform(0.2)).Corrupt(text)
 }
 
 func TestDeterministic(t *testing.T) {

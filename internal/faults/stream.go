@@ -183,10 +183,12 @@ func (cr *corruptReader) dispatch(b block) {
 	}
 	if b.event {
 		if cr.in.roll(cr.in.rates.ClockJump) {
+			cr.in.count("faults.clock_jump")
 			jump := time.Duration(cr.in.rng.Intn(150_000)-30_000) * time.Millisecond
 			b.setTime(b.at + jump)
 		}
 		if cr.in.roll(cr.in.rates.ReorderSwap) {
+			cr.in.count("faults.reorder_swap")
 			cr.held = &b
 			return
 		}
@@ -207,6 +209,7 @@ func (cr *corruptReader) emitBlock(b block) {
 			}
 		}
 		if cr.restartArmed && cr.in.rng.Float64() < restartHazard {
+			cr.in.count("faults.restart")
 			cr.restartDone = true
 			cr.rebase = true
 			cr.emitLines(block{lines: restartBanner})
@@ -229,15 +232,19 @@ func (cr *corruptReader) emitBlock(b block) {
 func (cr *corruptReader) emitLines(b block) {
 	for _, line := range b.lines {
 		if cr.in.roll(cr.in.rates.Interleave) {
+			cr.in.count("faults.interleave")
 			cr.writeLine(foreignLines[cr.in.rng.Intn(len(foreignLines))])
 		}
 		switch {
 		case cr.in.roll(cr.in.rates.DropLine):
+			cr.in.count("faults.drop_line")
 			continue
 		case cr.in.roll(cr.in.rates.DupLine):
+			cr.in.count("faults.dup_line")
 			cr.writeLine(line)
 			cr.writeLine(line)
 		case cr.in.roll(cr.in.rates.GarbleField):
+			cr.in.count("faults.garble_field")
 			cr.writeLine(cr.in.garble(line))
 		default:
 			cr.writeLine(line)
@@ -302,6 +309,7 @@ func (cr *corruptReader) finish() {
 		cr.writeByte('\n')
 	}
 	if cr.in.roll(cr.in.rates.Truncate) && cr.outTotal > 1 {
+		cr.in.count("faults.truncate")
 		cut := cr.outTotal/2 + cr.in.rng.Intn(cr.outTotal-cr.outTotal/2)
 		if drop := cr.outTotal - cut; drop > 0 {
 			if drop > len(cr.hold) {

@@ -31,8 +31,11 @@ var LayeringRules = map[string]Rule{
 	"device": {Reason: "device profiles are a leaf data package"},
 	"stats":  {Reason: "statistics helpers are a leaf utility package"},
 	"meas":   {Reason: "the measurement vocabulary sits on the methodology boundary and must stay simulator-free"},
-	"faults": {Reason: "fault injection mutates raw capture text and may not know about any domain package"},
+	"obs":    {Reason: "observability is a leaf utility layer: metrics observe every package but may never influence domain behaviour"},
 	"viz":    {Reason: "terminal rendering is a leaf utility package"},
+
+	"faults": {Allow: []string{"obs"},
+		Reason: "fault injection mutates raw capture text and may not know about any domain package; it only reports what it injected"},
 
 	"cell": {Allow: []string{"band", "geo"},
 		Reason: "cell identity and set algebra build only on frequency and geometry vocabulary"},
@@ -42,7 +45,7 @@ var LayeringRules = map[string]Rule{
 	// The methodology boundary (§4): the analysis side consumes parsed
 	// NSG-style logs and never touches simulator internals (DESIGN.md:
 	// "analysis never touches simulator internals — it parses the logs").
-	"sig": {Allow: []string{"band", "cell", "meas", "rrc"},
+	"sig": {Allow: []string{"band", "cell", "meas", "obs", "rrc"},
 		Reason: "the log format IS the methodology boundary; it may not import anything simulator-side"},
 	"trace": {Allow: []string{"band", "cell", "meas", "rrc", "sig"},
 		Reason: "Appendix-B timeline folding works on parsed logs only (§4 methodology)"},
@@ -58,12 +61,12 @@ var LayeringRules = map[string]Rule{
 		Reason: "deployments compose cells, geometry, policy and the radio field"},
 	"throughput": {Allow: []string{"band", "cell", "meas", "policy", "stats", "trace"},
 		Reason: "the speed model maps RRC states (from the parsed timeline) to throughput"},
-	"uesim": {Allow: []string{"band", "cell", "deploy", "device", "geo", "meas", "policy", "radio", "rrc", "sig"},
+	"uesim": {Allow: []string{"band", "cell", "deploy", "device", "geo", "meas", "obs", "policy", "radio", "rrc", "sig"},
 		Reason: "the run engine drives UE ↔ network exchanges and emits logs; it sits above every simulator layer"},
 
 	// Orchestration.
 	"campaign": {Allow: []string{"band", "cell", "core", "deploy", "device", "faults", "geo", "meas",
-		"policy", "rrc", "sig", "throughput", "trace", "uesim"},
+		"obs", "policy", "rrc", "sig", "throughput", "trace", "uesim"},
 		Reason: "the campaign runner orchestrates simulation and analysis end-to-end"},
 	"experiments": {Allow: []string{"band", "campaign", "cell", "core", "deploy", "device", "faults", "geo",
 		"meas", "policy", "radio", "sig", "stats", "throughput", "trace", "uesim", "viz"},
@@ -92,6 +95,7 @@ var ClosedEnums = []Enum{
 	{Pkg: "internal/throughput", Type: "Workload"},
 	{Pkg: "internal/rrc", Type: "ReestCause"},
 	{Pkg: "internal/rrc", Type: "MeasRole"},
+	{Pkg: "internal/obs", Type: "Stage"},
 }
 
 // ApprovedFloatCmp lists the epsilon helpers whose bodies may compare

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartDebugServer serves the standard Go debug endpoints plus the
+// registry snapshot on addr ("host:port"; ":0" picks a free port):
+//
+//	/debug/pprof/   net/http/pprof profiles
+//	/debug/vars     expvar (cmdline, memstats)
+//	/metrics        the registry's Snapshot as JSON (404 when reg is nil)
+//
+// It returns the bound address and a func that shuts the server down.
+// The server runs on its own goroutine; it observes, it never blocks
+// the pipeline.
+func StartDebugServer(addr string, reg *Registry) (bound string, stop func() error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		})
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("test.counter", 7)
+	bound, stop, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if !strings.Contains(bound, ":") {
+		t.Fatalf("bound address %q has no port", bound)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not a snapshot: %v\n%s", err, body)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "test.counter" || snap.Counters[0].Value != 7 {
+		t.Errorf("snapshot = %+v", snap.Counters)
+	}
+
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}
+
+// TestDebugServerNoRegistry: without a registry the /metrics route is
+// absent but pprof still serves.
+func TestDebugServerNoRegistry(t *testing.T) {
+	bound, stop, err := StartDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without a registry = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDebugServerBadAddr: an unbindable address surfaces as an error,
+// not a background panic.
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, _, err := StartDebugServer("256.256.256.256:1", nil); err == nil {
+		t.Error("expected an error for an unbindable address")
+	}
+}

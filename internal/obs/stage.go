@@ -1,0 +1,45 @@
+package obs
+
+import "strconv"
+
+// Stage names one phase of the study pipeline, the vocabulary stage
+// spans are recorded under. The order follows the data path:
+// simulate → inject → parse → extract → detect → analyze.
+type Stage uint8
+
+// Pipeline stages.
+const (
+	// StageSimulate is the run engine emitting the signaling capture.
+	StageSimulate Stage = iota
+	// StageInject is fault injection corrupting the capture in flight.
+	StageInject
+	// StageParse is (lenient) parsing of the capture text.
+	StageParse
+	// StageExtract is folding the parsed log into the CS timeline.
+	StageExtract
+	// StageDetect is loop detection and classification.
+	StageDetect
+	// StageAnalyze is run post-processing (measurement counts,
+	// throughput series).
+	StageAnalyze
+)
+
+// String names the stage as used in metric names.
+func (s Stage) String() string {
+	switch s {
+	case StageSimulate:
+		return "simulate"
+	case StageInject:
+		return "inject"
+	case StageParse:
+		return "parse"
+	case StageExtract:
+		return "extract"
+	case StageDetect:
+		return "detect"
+	case StageAnalyze:
+		return "analyze"
+	default:
+		return "Stage(" + strconv.Itoa(int(s)) + ")"
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/meas"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/rrc"
 )
 
@@ -89,7 +90,17 @@ func (s *Salvage) Summary() string {
 // captures interleave unrelated records); malformed details of a
 // recognized message are an error.
 func Parse(r io.Reader) (*Log, error) {
-	log, _, err := parse(r, false)
+	log, _, err := parse(r, false, nil)
+	return log, err
+}
+
+// ParseObserved is Parse with parsing counters (lines read, lines
+// skipped, oversized-line hits, events kept) flushed into c when the
+// parse completes. A nil collector makes it exactly Parse: the per-line
+// hot loop never consults the collector, so observability costs nothing
+// until the final flush.
+func ParseObserved(r io.Reader, c obs.Collector) (*Log, error) {
+	log, _, err := parse(r, false, c)
 	return log, err
 }
 
@@ -102,7 +113,7 @@ func ParseString(s string) (*Log, error) { return Parse(strings.NewReader(s)) }
 // next header. The error is non-nil only when the reader itself fails;
 // arbitrary text content never errors.
 func ParseLenient(r io.Reader) (*Log, *Salvage, error) {
-	return parse(r, true)
+	return parse(r, true, nil)
 }
 
 // ParseLenientString is ParseLenient over a string.
@@ -110,14 +121,24 @@ func ParseLenientString(s string) (*Log, *Salvage, error) {
 	return ParseLenient(strings.NewReader(s))
 }
 
-// parse is the shared strict/lenient parsing loop.
-func parse(r io.Reader, lenient bool) (*Log, *Salvage, error) {
+// ParseLenientObserved is ParseLenient with parsing counters flushed
+// into c when the parse completes; a nil collector makes it exactly
+// ParseLenient.
+func ParseLenientObserved(r io.Reader, c obs.Collector) (*Log, *Salvage, error) {
+	return parse(r, true, c)
+}
+
+// parse is the shared strict/lenient parsing loop. Counters accumulate
+// in locals and flush into c once at the end, keeping the per-line path
+// free of interface calls; a parse aborted by an error flushes nothing.
+func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 	lr := &lineReader{br: bufio.NewReaderSize(r, 64*1024), max: maxLineBytes}
 	log := &Log{Events: make([]Event, 0, 256)}
 	sal := &Salvage{}
 	var (
-		cur     *rawEvent
-		lineNum int
+		cur       *rawEvent
+		lineNum   int
+		oversized int
 	)
 	flush := func() error {
 		if cur == nil {
@@ -148,6 +169,7 @@ func parse(r io.Reader, lenient bool) (*Log, *Salvage, error) {
 		}
 		lineNum++
 		if tooLong {
+			oversized++
 			pe := &ParseError{Line: lineNum, Text: line[:80] + "…", Err: ErrLineTooLong}
 			if !lenient {
 				return nil, nil, pe
@@ -192,6 +214,14 @@ func parse(r io.Reader, lenient bool) (*Log, *Salvage, error) {
 		return nil, nil, err
 	}
 	sal.EventsKept = log.Len()
+	if c != nil {
+		c.Add("sig.lines.read", int64(lineNum))
+		c.Add("sig.lines.oversized", int64(oversized))
+		c.Add("sig.lines.skipped", int64(sal.LinesSkipped))
+		c.Add("sig.records.dropped", int64(sal.RecordsDropped))
+		c.Add("sig.events.kept", int64(sal.EventsKept))
+		c.Observe("sig.events.count", float64(sal.EventsKept))
+	}
 	return log, sal, nil
 }
 

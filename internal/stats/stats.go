@@ -259,14 +259,22 @@ func FractionWithin(pred, truth []float64, bound float64) float64 {
 }
 
 // Histogram counts xs into nbins equal-width bins spanning [min, max].
-// Values outside the range are clamped into the edge bins.
+// Values outside the range are clamped into the edge bins; NaN samples
+// belong to no bin and are skipped. A non-positive nbins yields empty
+// counts (a negative count can't size a slice).
 func Histogram(xs []float64, min, max float64, nbins int) []int {
+	if nbins <= 0 {
+		return []int{}
+	}
 	counts := make([]int, nbins)
-	if nbins == 0 || max <= min {
+	if max <= min {
 		return counts
 	}
 	w := (max - min) / float64(nbins)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
 		b := int((x - min) / w)
 		if b < 0 {
 			b = 0
@@ -291,9 +299,11 @@ func Ratio(part, total int) float64 {
 // BootstrapCI returns a percentile bootstrap confidence interval for
 // the mean of xs at the given confidence level (e.g. 0.95), using
 // resamples deterministic in the seed. It returns (NaN, NaN) for an
-// empty input.
+// empty input or a confidence outside (0, 1) — levels at or beyond the
+// bounds would silently produce inverted or degenerate intervals.
 func BootstrapCI(xs []float64, confidence float64, resamples int, seed int64) (lo, hi float64) {
-	if len(xs) == 0 || resamples <= 0 {
+	if len(xs) == 0 || resamples <= 0 ||
+		math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
 		return math.NaN(), math.NaN()
 	}
 	rng := rand.New(rand.NewSource(seed))

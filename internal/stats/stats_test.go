@@ -195,6 +195,34 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// Regression: Histogram(xs, lo, hi, n) with n <= 0 used to panic in
+// make([]int, n); it must return an empty histogram instead.
+func TestHistogramNonPositiveBins(t *testing.T) {
+	for _, nbins := range []int{0, -1, -100} {
+		if got := Histogram([]float64{1, 2, 3}, 0, 5, nbins); len(got) != 0 {
+			t.Errorf("Histogram(nbins=%d) = %v, want empty", nbins, got)
+		}
+	}
+}
+
+// Regression: NaN samples used to clamp into bin 0 (NaN comparisons are
+// all false, so the bin index stayed 0), silently inflating the lowest
+// bin. NaNs must be skipped.
+func TestHistogramSkipsNaN(t *testing.T) {
+	xs := []float64{math.NaN(), 0.5, math.NaN(), 4.5}
+	h := Histogram(xs, 0, 5, 5)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("histogram counted %d samples, want 2 (NaNs skipped): %v", total, h)
+	}
+	if h[0] != 1 || h[4] != 1 {
+		t.Errorf("histogram = %v, want one count in bin 0 and one in bin 4", h)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(1, 4) != 0.25 {
 		t.Error("Ratio(1,4)")
@@ -246,5 +274,23 @@ func TestBootstrapCI(t *testing.T) {
 	}
 	if l, h := BootstrapCI(nil, 0.95, 100, 1); !math.IsNaN(l) || !math.IsNaN(h) {
 		t.Error("empty input should give NaN")
+	}
+}
+
+// Regression: an out-of-range confidence used to silently produce a
+// nonsense interval (confidence=0 collapses both percentiles to 50,
+// confidence>=1 pushes them past the tails). The valid domain is the
+// open interval (0, 1); anything else yields (NaN, NaN).
+func TestBootstrapCIConfidenceValidation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, conf := range []float64{0, 1, -0.5, 1.5, 2, math.NaN()} {
+		lo, hi := BootstrapCI(xs, conf, 100, 3)
+		if !math.IsNaN(lo) || !math.IsNaN(hi) {
+			t.Errorf("BootstrapCI(confidence=%v) = (%v, %v), want (NaN, NaN)", conf, lo, hi)
+		}
+	}
+	// The boundary just inside the domain still works.
+	if lo, hi := BootstrapCI(xs, 0.5, 100, 3); math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Errorf("BootstrapCI(confidence=0.5) = (%v, %v), want a finite interval", lo, hi)
 	}
 }

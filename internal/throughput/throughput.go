@@ -9,6 +9,7 @@ package throughput
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/mssn/loopscope/internal/band"
@@ -163,14 +164,17 @@ type Cycle struct {
 	Total time.Duration
 }
 
-// in5G reports the 5G state at an instant.
+// in5G reports the 5G state at an instant: the step in force at `at` is
+// the last one starting at or before it. Timeline steps are in
+// ascending At order (FromLog re-anchors regressing clocks), so a
+// binary search replaces the former full rescan — CycleSpeeds calls
+// this once per sample per cycle, which made it
+// O(samples × steps × cycles).
 func in5G(tl *trace.Timeline, at time.Duration) bool {
-	state := false
-	for _, s := range tl.Steps {
-		if s.At > at {
-			break
-		}
-		state = s.Set.Uses5G()
+	steps := tl.Steps
+	i := sort.Search(len(steps), func(j int) bool { return steps[j].At > at }) - 1
+	if i < 0 {
+		return false // before the first step: no serving set yet
 	}
-	return state
+	return steps[i].Set.Uses5G()
 }

@@ -182,6 +182,63 @@ func TestCycleSpeeds(t *testing.T) {
 	}
 }
 
+// in5GLinear is the replaced linear rescan, kept verbatim as the
+// equivalence oracle for the binary-search in5G.
+func in5GLinear(tl *trace.Timeline, at time.Duration) bool {
+	on := false
+	for _, s := range tl.Steps {
+		if s.At > at {
+			break
+		}
+		on = s.Set.Uses5G()
+	}
+	return on
+}
+
+// TestIn5GMatchesLinearScan: the sort.Search rewrite must agree with
+// the old linear scan at every instant, including exact step boundaries
+// and instants outside the observation.
+func TestIn5GMatchesLinearScan(t *testing.T) {
+	for name, tl := range map[string]*trace.Timeline{
+		"sa-loop": saLoopTimeline(),
+		"nsa":     nsaTimeline(),
+		"empty":   {},
+	} {
+		// Probe every 100 ms plus the exact step instants and ±1ns around
+		// them.
+		var probes []time.Duration
+		for at := -time.Second; at <= tl.Duration+2*time.Second; at += 100 * time.Millisecond {
+			probes = append(probes, at)
+		}
+		for _, s := range tl.Steps {
+			probes = append(probes, s.At-1, s.At, s.At+1)
+		}
+		for _, p := range probes {
+			if got, want := in5G(tl, p), in5GLinear(tl, p); got != want {
+				t.Fatalf("%s: in5G(%v) = %v, linear scan says %v", name, p, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkCycleSpeeds exercises the hot path the in5G binary search
+// optimizes: every sample of every cycle queries the timeline.
+func BenchmarkCycleSpeeds(b *testing.B) {
+	tl := saLoopTimeline()
+	samples := Generate(tl, policy.OPT(), 9)
+	cycles := []Cycle{
+		{Start: 0, Total: 30 * time.Second},
+		{Start: 30 * time.Second, Total: 30 * time.Second},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cs := CycleSpeeds(samples, tl, cycles); len(cs) == 0 {
+			b.Fatal("no cycle speeds")
+		}
+	}
+}
+
 func TestLognormZeroMedian(t *testing.T) {
 	tl := saLoopTimeline()
 	// OPT's OFF median is 0: the generator must not emit negatives.

@@ -93,12 +93,28 @@ type Evidence struct {
 	// with no follow-up command (S1E2 signal).
 	PoorSCells []cell.Ref
 	// WorstSCellRSRP is the weakest reported serving-SCell RSRP in the
-	// ended ON period (NaN-free: 0 when no SCell was ever reported).
+	// ended ON period. When no SCell was ever reported it holds the
+	// +Inf sentinel (0 dBm sits inside the valid RSRP domain and is
+	// indistinguishable from a real — if implausible — report); use
+	// HasSCellReport before reading it as a dBm value.
 	WorstSCellRSRP float64
 	// HandoverFrom/To record PCell changes.
 	HandoverFrom, HandoverTo cell.Ref
 	// Reports counts measurement reports seen in the ended ON period.
 	Reports int
+}
+
+// HasSCellReport reports whether any serving SCell appeared in a
+// measurement report during the ended ON period — i.e. whether
+// WorstSCellRSRP carries a real dBm value rather than the +Inf
+// no-report sentinel. Evidence produced by this package always uses
+// the sentinel convention.
+func (e Evidence) HasSCellReport() bool { return !math.IsInf(e.WorstSCellRSRP, 1) }
+
+// newEvidence returns an Evidence of the given kind with the
+// WorstSCellRSRP sentinel in place.
+func newEvidence(kind ReleaseKind) Evidence {
+	return Evidence{Kind: kind, WorstSCellRSRP: math.Inf(1)}
 }
 
 // Step is one entry of the CS timeline: the set in force from At until
@@ -251,7 +267,7 @@ func FromLog(log *sig.Log) *Timeline {
 		seenInRept: make(map[cell.Ref]bool),
 		lastMeas:   make(map[cell.Ref]rrc.MeasEntry),
 	}
-	ex.push(0, cell.Idle(), Evidence{})
+	ex.push(0, cell.Idle(), newEvidence(CauseNone))
 	var offset, last time.Duration
 	for _, e := range log.Events {
 		at := e.At + offset
@@ -292,24 +308,22 @@ func (ex *extractor) resetONBookkeeping() {
 
 // releaseEvidence assembles the S1E1/S1E2 signals for a full release.
 func (ex *extractor) releaseEvidence(kind ReleaseKind) Evidence {
-	ev := Evidence{Kind: kind, Reports: ex.reports}
+	ev := newEvidence(kind)
+	ev.Reports = ex.reports
 	if ex.cur.MCG != nil {
-		worst := math.Inf(1)
 		for _, sc := range ex.cur.MCG.SCells {
 			if ex.reports > 0 && !ex.seenInRept[sc] {
 				ev.UnmeasuredSCells = append(ev.UnmeasuredSCells, sc)
 			}
 			if m, ok := ex.lastMeas[sc]; ok {
-				if m.Meas.RSRPDBm < worst {
-					worst = m.Meas.RSRPDBm
+				// The sentinel is +Inf, so the first report always wins.
+				if m.Meas.RSRPDBm < ev.WorstSCellRSRP {
+					ev.WorstSCellRSRP = m.Meas.RSRPDBm
 				}
 				if m.Meas.RSRQDB <= PoorRSRQThresholdDB {
 					ev.PoorSCells = append(ev.PoorSCells, sc)
 				}
 			}
-		}
-		if !math.IsInf(worst, 1) {
-			ev.WorstSCellRSRP = worst
 		}
 	}
 	if ex.lastMod != nil {
@@ -324,7 +338,7 @@ func (ex *extractor) handle(at time.Duration, m rrc.Message) {
 	case rrc.SetupComplete:
 		ex.resetONBookkeeping()
 		s := cell.Set{MCG: cell.NewGroup(v.Rat, v.Cell)}
-		ex.push(at, s, Evidence{})
+		ex.push(at, s, newEvidence(CauseNone))
 	case rrc.ReestablishmentRequest:
 		ev := ex.releaseEvidence(CauseReestablishment)
 		ev.ReestCause = v.Cause
@@ -335,7 +349,7 @@ func (ex *extractor) handle(at time.Duration, m rrc.Message) {
 	case rrc.ReestablishmentComplete:
 		ex.resetONBookkeeping()
 		s := cell.Set{MCG: cell.NewGroup(band.RATLTE, v.Cell)}
-		ex.push(at, s, Evidence{})
+		ex.push(at, s, newEvidence(CauseNone))
 	case rrc.Reconfig:
 		ex.pending = &v
 	case rrc.ReconfigComplete:
@@ -367,7 +381,7 @@ func (ex *extractor) applyReconfig(at time.Duration, rc rrc.Reconfig) {
 		return // stale command after release; nothing to apply
 	}
 	next := ex.cur.Clone()
-	ev := Evidence{}
+	ev := newEvidence(CauseNone)
 
 	// 4G PCell handover: SCells are dropped; the SCG survives only if
 	// the same message re-provisions it (Appendix B).

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -148,8 +149,43 @@ func TestExtractS1E2Poor(t *testing.T) {
 	if last.Evidence.WorstSCellRSRP != -108.5 {
 		t.Errorf("WorstSCellRSRP = %v", last.Evidence.WorstSCellRSRP)
 	}
+	if !last.Evidence.HasSCellReport() {
+		t.Error("HasSCellReport must be true when an SCell measurement was seen")
+	}
 	if len(last.Evidence.UnmeasuredSCells) != 0 {
 		t.Errorf("UnmeasuredSCells should be empty: %v", last.Evidence.UnmeasuredSCells)
+	}
+}
+
+// Regression: a release without any SCell measurement report used to
+// leave WorstSCellRSRP at the zero value 0 dBm — a physically
+// impossible but plausible-looking RSRP that downstream consumers could
+// mistake for a real reading. The no-report sentinel is now +Inf,
+// detectable via HasSCellReport.
+func TestWorstSCellRSRPNoReportSentinel(t *testing.T) {
+	l := &sig.Log{}
+	l.Append(at(100), rrc.SetupComplete{Rat: band.RATNR, Cell: ref("684@501390")})
+	l.Append(at(900), rrc.Reconfig{
+		Rat: band.RATNR, Serving: ref("684@501390"),
+		AddSCells: []rrc.SCellEntry{{Index: 1, Cell: ref("390@387410")}},
+	})
+	l.Append(at(910), rrc.ReconfigComplete{Rat: band.RATNR})
+	// No MeasReport before the release.
+	l.Append(at(5000), rrc.Release{Rat: band.RATNR})
+	tl := Extract(l)
+	ev := tl.Steps[len(tl.Steps)-1].Evidence
+	if !math.IsInf(ev.WorstSCellRSRP, 1) {
+		t.Errorf("WorstSCellRSRP = %v, want +Inf sentinel when no report was seen", ev.WorstSCellRSRP)
+	}
+	if ev.HasSCellReport() {
+		t.Error("HasSCellReport must be false without a measurement report")
+	}
+	// Every step of the timeline honors the sentinel convention: the
+	// zero value 0 dBm never appears as a phantom reading.
+	for i, s := range tl.Steps {
+		if !s.Evidence.HasSCellReport() && !math.IsInf(s.Evidence.WorstSCellRSRP, 1) {
+			t.Errorf("step %d: report-free evidence carries RSRP %v", i, s.Evidence.WorstSCellRSRP)
+		}
 	}
 }
 
@@ -253,6 +289,84 @@ func TestTimeIn5G(t *testing.T) {
 	on = tl.TimeIn5G(at(1000), at(2000))
 	if on != time.Second {
 		t.Errorf("windowed TimeIn5G = %v", on)
+	}
+}
+
+// connectedSet returns a minimal 5G SA serving set for hand-built
+// timeline boundary tests.
+func connectedSet() cell.Set {
+	return cell.Set{MCG: &cell.Group{RAT: band.RATNR, Primary: ref("393@521310")}}
+}
+
+// TestTimeIn5GBoundaries pins the window/step edge cases: empty
+// timelines, steps landing exactly at or past the observation end, and
+// query windows outside the observation.
+func TestTimeIn5GBoundaries(t *testing.T) {
+	empty := &Timeline{}
+	if got := empty.TimeIn5G(0, time.Minute); got != 0 {
+		t.Errorf("empty timeline TimeIn5G = %v, want 0", got)
+	}
+	if occ := empty.Occupy(); occ.Total != 0 || occ.OffRatio() != 0 {
+		t.Errorf("empty timeline occupancy = %+v", occ)
+	}
+
+	// One connected step whose start coincides with the observation end:
+	// it is in force for zero time.
+	atEnd := &Timeline{
+		Steps: []Step{
+			{At: 0, Set: cell.Set{}},
+			{At: 10 * time.Second, Set: connectedSet()},
+		},
+		Duration: 10 * time.Second,
+	}
+	if got := atEnd.TimeIn5G(0, atEnd.Duration); got != 0 {
+		t.Errorf("step at Duration contributes %v, want 0", got)
+	}
+
+	// A step past the observation end (possible on damaged captures
+	// where Duration came from a truncated tail) must not produce a
+	// negative contribution.
+	past := &Timeline{
+		Steps: []Step{
+			{At: 0, Set: cell.Set{}},
+			{At: 12 * time.Second, Set: connectedSet()},
+		},
+		Duration: 10 * time.Second,
+	}
+	if got := past.TimeIn5G(0, past.Duration); got != 0 {
+		t.Errorf("step past Duration contributes %v, want 0", got)
+	}
+	occ := past.Occupy()
+	if occ.SA != 0 || occ.Idle != 12*time.Second {
+		t.Errorf("occupancy with step past Duration = %+v", occ)
+	}
+	if r := occ.OffRatio(); r < 0 || r > 1 {
+		t.Errorf("OffRatio = %v, want within [0,1]", r)
+	}
+
+	// Windows entirely outside the observation.
+	tl := Extract(s1e3Log(1))
+	if got := tl.TimeIn5G(tl.Duration+time.Second, tl.Duration+time.Minute); got != 0 {
+		t.Errorf("window after observation = %v, want 0", got)
+	}
+	if got := tl.TimeIn5G(-time.Minute, 0); got != 0 {
+		t.Errorf("window before observation = %v, want 0", got)
+	}
+	// Inverted window.
+	if got := tl.TimeIn5G(at(2000), at(1000)); got != 0 {
+		t.Errorf("inverted window = %v, want 0", got)
+	}
+}
+
+// TestOffRatioWithinUnit property: OffRatio stays in [0,1] for
+// arbitrary generated runs — the denominator view behind every OFF-time
+// figure of the paper must be a true ratio.
+func TestOffRatioWithinUnit(t *testing.T) {
+	for cycles := 1; cycles <= 4; cycles++ {
+		occ := Extract(s1e3Log(cycles)).Occupy()
+		if r := occ.OffRatio(); r < 0 || r > 1 {
+			t.Errorf("cycles=%d: OffRatio = %v, want within [0,1]", cycles, r)
+		}
 	}
 }
 

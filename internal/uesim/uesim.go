@@ -22,6 +22,7 @@ import (
 	"github.com/mssn/loopscope/internal/device"
 	"github.com/mssn/loopscope/internal/geo"
 	"github.com/mssn/loopscope/internal/meas"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/radio"
 	"github.com/mssn/loopscope/internal/rrc"
@@ -76,6 +77,11 @@ type Config struct {
 	// Fixes applies candidate mitigations (the paper's Q3). Each field
 	// targets one loop family's root cause.
 	Fixes Fixes
+
+	// Metrics, when non-nil, receives run counters (runs executed,
+	// events emitted). Pure observation: the simulation consumes the
+	// same RNG stream and emits the same events with or without it.
+	Metrics obs.Collector
 }
 
 // Fixes are network-side configuration remedies for the loop causes of
@@ -160,22 +166,30 @@ func RunTo(cfg Config, sink sig.Sink) {
 			rat = band.RATLTE
 		}
 		sink.Append(cfg.Duration, rrc.MeasReport{Rat: rat})
+		e.emitted++
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Add("uesim.runs", 1)
+		cfg.Metrics.Add("uesim.events.emitted", e.emitted)
+		cfg.Metrics.Observe("uesim.events.count", float64(e.emitted))
 	}
 }
 
 // engine is the shared simulation state.
 type engine struct {
-	cfg  Config
-	rng  *rand.Rand
-	sink sig.Sink
-	now  time.Duration
-	last time.Duration // timestamp of the last emitted event, -1 when none
+	cfg     Config
+	rng     *rand.Rand
+	sink    sig.Sink
+	now     time.Duration
+	last    time.Duration // timestamp of the last emitted event, -1 when none
+	emitted int64         // events delivered to the sink
 }
 
 // emit appends a message at the current simulated time and advances the
 // clock by one millisecond so message ordering is strict.
 func (e *engine) emit(m rrc.Message) {
 	e.sink.Append(e.now, m)
+	e.emitted++
 	e.last = e.now
 	e.now += time.Millisecond
 }

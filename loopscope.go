@@ -38,6 +38,7 @@ import (
 	"github.com/mssn/loopscope/internal/experiments"
 	"github.com/mssn/loopscope/internal/faults"
 	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/throughput"
@@ -155,6 +156,37 @@ type Salvage = sig.Salvage
 // parsing resyncs at the next header instead of aborting. The error is
 // non-nil only when the reader itself fails.
 func ParseLogLenient(r io.Reader) (*Log, *Salvage, error) { return sig.ParseLenient(r) }
+
+// Observability. A MetricsRegistry collects counters, gauges,
+// fixed-bucket histograms and per-run stage spans from the pipeline
+// (set StudyOptions.Metrics, RunConfig.Metrics, or use the Observed
+// parse variants) and snapshots to stable, timestamp-free JSON.
+// Metrics are pure observation: every study record and experiment
+// output is byte-identical with the collector enabled or disabled.
+type (
+	// MetricsCollector is the observation sink the pipeline accepts;
+	// nil disables collection at zero cost.
+	MetricsCollector = obs.Collector
+	// MetricsRegistry is the live collector implementation.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a registry's stable point-in-time state.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ParseLogObserved is ParseLog with parsing counters flushed into c
+// when the parse completes; a nil collector makes it exactly ParseLog.
+func ParseLogObserved(r io.Reader, c MetricsCollector) (*Log, error) {
+	return sig.ParseObserved(r, c)
+}
+
+// ParseLogLenientObserved is ParseLogLenient with parsing counters
+// flushed into c when the parse completes.
+func ParseLogLenientObserved(r io.Reader, c MetricsCollector) (*Log, *Salvage, error) {
+	return sig.ParseLenientObserved(r, c)
+}
 
 // Capture fault injection (testing analysis pipelines against the
 // artifacts of real-world damaged captures).
