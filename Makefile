@@ -17,10 +17,17 @@ all: build lint test
 build:
 	$(GO) build ./...
 
-# lint runs the in-repo suite plus go vet; staticcheck/govulncheck are
-# separate targets because they download tools on first use.
+# lint runs the in-repo suite plus go vet and the gofmt gate;
+# staticcheck/govulncheck are separate targets because they download
+# tools on first use.
 lint: loopvet
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 loopvet:
 	$(GO) run ./cmd/loopvet ./...

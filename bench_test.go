@@ -27,6 +27,7 @@ import (
 	"github.com/mssn/loopscope/internal/throughput"
 	"github.com/mssn/loopscope/internal/trace"
 	"github.com/mssn/loopscope/internal/uesim"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // benchOpts keeps the shared benchmark dataset at a tractable size
@@ -284,7 +285,7 @@ func BenchmarkFitModel(b *testing.B) {
 	truth := &core.Model{K: 0.6, T: 10, N: 2, Feature: core.FeatureSCellGap}
 	var samples []core.Sample
 	for i := 0; i < 49; i++ {
-		c := core.Combo{PCellGapDB: float64(i%14 - 7), SCellGapDB: float64(i % 12)}
+		c := core.Combo{PCellGapDB: units.DB(i%14 - 7), SCellGapDB: units.DB(i % 12)}
 		samples = append(samples, core.Sample{Combos: []core.Combo{c}, Truth: truth.Predict([]core.Combo{c})})
 	}
 	b.ResetTimer()

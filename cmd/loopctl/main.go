@@ -151,7 +151,7 @@ func bestLoopSite(dep *loopscope.Deployment) *loopscope.Cluster {
 		if len(pair) < 2 {
 			continue
 		}
-		gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm - dep.Field.Median(pair[1], cl.Loc).RSRPDBm
+		gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm.Sub(dep.Field.Median(pair[1], cl.Loc).RSRPDBm).Float()
 		if gap < 0 {
 			gap = -gap
 		}
@@ -331,7 +331,7 @@ func (a *app) reportJSON(log *loopscope.Log, sal *loopscope.Salvage) {
 			js.Cause = s.Evidence.Kind.String()
 		}
 		if s.Evidence.HasSCellReport() {
-			rsrp := s.Evidence.WorstSCellRSRP
+			rsrp := s.Evidence.WorstSCellRSRP.Float()
 			js.WorstSCellRSRPDBm = &rsrp
 		}
 		doc.Steps = append(doc.Steps, js)

@@ -1,21 +1,27 @@
 // Command loopvet runs the repo's custom static-analysis suite — the
-// determinism, layering, exhaustive and floatcmp analyzers — over the
-// module. It is the machine check behind three invariants the compiler
-// cannot see: bit-reproducible replay from a seed, the §4 log-only
-// methodology boundary, and exhaustive handling of the §5 cause
-// taxonomy.
+// determinism, layering, exhaustive, floatcmp, unitcheck and rngflow
+// analyzers — over the module. It is the machine check behind the
+// invariants the compiler cannot see: bit-reproducible replay from a
+// seed, the §4 log-only methodology boundary, exhaustive handling of
+// the §5 cause taxonomy, the typed-unit discipline of internal/units,
+// and rand-derived data never escaping through unordered containers.
 //
 // Usage:
 //
-//	go run ./cmd/loopvet ./...        lint the whole module
-//	go run ./cmd/loopvet -json ./...  machine-readable findings for CI
+//	go run ./cmd/loopvet ./...           lint the whole module
+//	go run ./cmd/loopvet -json ./...     machine-readable findings for CI
+//	go run ./cmd/loopvet -waivers ./...  list the //lint:ignore inventory
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings
 // can be waived in source with
 //
 //	//lint:ignore loopvet/<name> reason
 //
-// on (or directly above) the offending line. See docs/ANALYSIS.md.
+// on (or directly above) the offending line. A waiver whose analyzer
+// reports nothing on the covered lines is stale and is itself a
+// finding; -waivers lists every waiver with its used/unused status
+// (always exit 0 — it is an inventory, the gate stays with the normal
+// mode). See docs/ANALYSIS.md.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 
 	"github.com/mssn/loopscope/internal/lint/checkers"
 	"github.com/mssn/loopscope/internal/lint/driver"
@@ -42,8 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("loopvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	waiversOut := fs.Bool("waivers", false, "list the //lint:ignore waiver inventory instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: loopvet [-json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: loopvet [-json] [-waivers] [packages]\n\nAnalyzers:\n")
 		for _, a := range checkers.Suite("") {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -56,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loopvet:", err)
 		return 2
 	}
-	findings, err := driver.Run(driver.Options{
+	res, err := driver.RunDetail(driver.Options{
 		ModulePath: modPath,
 		ModuleRoot: root,
 		Patterns:   fs.Args(),
@@ -66,8 +74,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loopvet:", err)
 		return 2
 	}
+	findings := res.Findings
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
+	if *waiversOut {
+		if *jsonOut {
+			waivers := res.Waivers
+			if waivers == nil {
+				waivers = []driver.Waiver{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(waivers); err != nil {
+				fmt.Fprintln(stderr, "loopvet:", err)
+				return 2
+			}
+			return 0
+		}
+		for _, wv := range res.Waivers {
+			status := "used"
+			if !wv.Used {
+				status = "unused"
+			}
+			fmt.Fprintf(w, "%s:%d: loopvet/%s (%s): %s\n",
+				wv.File, wv.Line, strings.Join(wv.Analyzers, ",loopvet/"), status, wv.Reason)
+		}
+		return 0
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

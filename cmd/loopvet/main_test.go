@@ -72,6 +72,70 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunWaiversList checks the -waivers inventory mode: every waiver
+// is listed with its used/unused status, and the mode exits 0 — the
+// findings gate stays with the normal mode.
+func TestRunWaiversList(t *testing.T) {
+	stale, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "stalemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, stale)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-waivers", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d inventory lines, want 2:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "loopvet/floatcmp (used)") {
+		t.Errorf("first waiver line = %q, want the used floatcmp waiver", lines[0])
+	}
+	if !strings.Contains(lines[1], "loopvet/floatcmp (unused)") {
+		t.Errorf("second waiver line = %q, want the unused floatcmp waiver", lines[1])
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "internal/calc/calc.go:") {
+			t.Errorf("inventory line %q is not module-relative file:line", l)
+		}
+	}
+}
+
+// TestRunWaiversJSON checks the machine-readable inventory.
+func TestRunWaiversJSON(t *testing.T) {
+	stale, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "stalemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, stale)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-waivers", "-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	var waivers []struct {
+		File      string   `json:"file"`
+		Line      int      `json:"line"`
+		Analyzers []string `json:"analyzers"`
+		Reason    string   `json:"reason"`
+		Used      bool     `json:"used"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &waivers); err != nil {
+		t.Fatalf("output is not a JSON waiver array: %v\n%s", err, out.String())
+	}
+	if len(waivers) != 2 {
+		t.Fatalf("got %d JSON waivers, want 2", len(waivers))
+	}
+	if !waivers[0].Used || waivers[1].Used {
+		t.Errorf("used flags = [%v %v], want [true false]", waivers[0].Used, waivers[1].Used)
+	}
+	for _, w := range waivers {
+		if w.File == "" || w.Line == 0 || len(w.Analyzers) == 0 || w.Reason == "" {
+			t.Errorf("incomplete waiver entry: %+v", w)
+		}
+	}
+}
+
 // TestRunCleanPackage checks the zero exit on a clean package of this
 // module.
 func TestRunCleanPackage(t *testing.T) {

@@ -35,7 +35,7 @@ func main() {
 				if len(pair) < 2 {
 					continue
 				}
-				gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm - dep.Field.Median(pair[1], cl.Loc).RSRPDBm
+				gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm.Sub(dep.Field.Median(pair[1], cl.Loc).RSRPDBm).Float()
 				if gap < 0 {
 					gap = -gap
 				}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/mssn/loopscope"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 func main() {
@@ -54,7 +55,7 @@ func main() {
 					loops++
 				}
 			}
-			gap := dep.Field.Median(pair[0], p).RSRPDBm - dep.Field.Median(pair[1], p).RSRPDBm
+			gap := dep.Field.Median(pair[0], p).RSRPDBm.Sub(dep.Field.Median(pair[1], p).RSRPDBm)
 			samples = append(samples, loopscope.TrainingSample{
 				Combos: []loopscope.Combo{{PCellGapDB: 12, SCellGapDB: gap}},
 				Truth:  float64(loops) / runs,
@@ -65,7 +66,7 @@ func main() {
 	model := loopscope.FitModel(samples, loopscope.FeatureSCellGap)
 	fmt.Println("fitted:", model)
 	fmt.Println("\nconditional loop probability by SCell RSRP gap:")
-	for gap := 0.0; gap <= 12; gap += 2 {
+	for gap := units.DB(0); gap <= 12; gap += 2 {
 		fmt.Printf("  gap %4.1f dB → p = %.2f\n", gap,
 			model.CondLoopProb(loopscope.Combo{SCellGapDB: gap}))
 	}
@@ -79,7 +80,7 @@ func main() {
 			continue
 		}
 		p2 := cl.CellsOnChannel(387410)
-		gap := dep.Field.Median(p2[0], cl.Loc).RSRPDBm - dep.Field.Median(p2[1], cl.Loc).RSRPDBm
+		gap := dep.Field.Median(p2[0], cl.Loc).RSRPDBm.Sub(dep.Field.Median(p2[1], cl.Loc).RSRPDBm)
 		pred := model.Predict([]loopscope.Combo{{PCellGapDB: 12, SCellGapDB: gap}})
 		loops := 0
 		for r := 0; r < runs; r++ {

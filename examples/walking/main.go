@@ -23,7 +23,7 @@ func main() {
 			continue
 		}
 		pair := cl.CellsOnChannel(387410)
-		gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm - dep.Field.Median(pair[1], cl.Loc).RSRPDBm
+		gap := dep.Field.Median(pair[0], cl.Loc).RSRPDBm.Sub(dep.Field.Median(pair[1], cl.Loc).RSRPDBm).Float()
 		if gap < 0 {
 			gap = -gap
 		}
@@ -62,7 +62,7 @@ func main() {
 		releases++
 		progress := s.At.Seconds() * 1.0 // meters walked
 		pos := start.Add(progress, 0)
-		gap := dep.Field.Median(pair[0], pos).RSRPDBm - dep.Field.Median(pair[1], pos).RSRPDBm
+		gap := dep.Field.Median(pair[0], pos).RSRPDBm.Sub(dep.Field.Median(pair[1], pos).RSRPDBm).Float()
 		fmt.Printf("  t=%-8v %+6.0fm from site  local pair gap %5.1f dB  (%s)\n",
 			s.At.Round(time.Second), pos.X-site.Loc.X, gap, s.Evidence.Kind)
 	}

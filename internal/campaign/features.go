@@ -12,6 +12,7 @@ import (
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/trace"
 	"github.com/mssn/loopscope/internal/uesim"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // This file extracts the §6 prediction features from a deployment and
@@ -31,7 +32,7 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 	// Rank anchors by median + reselection priority, like the UE does.
 	type scored struct {
 		c     *cell.Cell
-		score float64
+		score units.DBm
 	}
 	var anchors []scored
 	for _, c := range cl.Cells {
@@ -41,7 +42,7 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 		switch c.Band() {
 		case "n41", "n71":
 			m := d.Field.Median(c, p)
-			anchors = append(anchors, scored{c, m.RSRPDBm + op.AnchorPriorityDB[c.Channel]})
+			anchors = append(anchors, scored{c, m.RSRPDBm.Add(op.AnchorPriorityDB[c.Channel])})
 		}
 	}
 	if len(anchors) == 0 {
@@ -61,9 +62,9 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 			}
 		}
 	}
-	pcellGap := 20.0 // no alternative: the target combination always wins
+	pcellGap := units.DB(20.0) // no alternative: the target combination always wins
 	if alt != nil {
-		pcellGap = best.score - alt.score
+		pcellGap = best.score.Sub(alt.score)
 	}
 
 	// The problematic pair: the configured partner is the co-PCI cell;
@@ -82,13 +83,13 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 		pm := d.Field.Median(partner, p)
 		if other != nil {
 			om := d.Field.Median(other, p)
-			combo.SCellGapDB = pm.RSRPDBm - om.RSRPDBm
+			combo.SCellGapDB = pm.RSRPDBm.Sub(om.RSRPDBm)
 		}
 	}
 	// The worst-SCell feature (S1E1/S1E2) scans *every* configured
 	// partner of the target anchor — any one of them can be the bad
 	// apple, not just the 387410 one.
-	worst := math.Inf(1)
+	worst := units.DBm(math.Inf(1))
 	for _, c := range cl.Cells {
 		if c.RAT != band.RATNR || c.PCI != best.c.PCI || c.Channel == best.c.Channel {
 			continue
@@ -101,7 +102,7 @@ func Combos(op *policy.Operator, d *deploy.Deployment, cl *deploy.Cluster, p geo
 			worst = m.RSRPDBm
 		}
 	}
-	if !math.IsInf(worst, 1) {
+	if !math.IsInf(worst.Float(), 1) {
 		combo.WorstSCellRSRPDBm = worst
 	}
 	return []core.Combo{combo}
@@ -121,7 +122,7 @@ type DensePoint struct {
 	Combo       core.Combo
 	// PairRSRP holds the median RSRP of the two 387410 cells at this
 	// point (Fig. 20c/d's walking maps).
-	PairRSRP [2]float64
+	PairRSRP [2]units.DBm
 }
 
 // DenseStudy runs the Fig. 20 protocol: stationary runs on a grid of
@@ -269,7 +270,7 @@ func SparseSamples(st *Study, op *policy.Operator, s1e3Only bool) []core.Sample 
 // nil when the area has no S1E3 cluster.
 func FindShowcase(d *deploy.Deployment) *deploy.Cluster {
 	var best *deploy.Cluster
-	bestGap := 1e9
+	bestGap := units.DB(1e9)
 	for _, cl := range d.Clusters {
 		if cl.Arch != deploy.ArchS1E3 {
 			continue
@@ -280,7 +281,7 @@ func FindShowcase(d *deploy.Deployment) *deploy.Cluster {
 		}
 		a := d.Field.Median(pair[0], cl.Loc).RSRPDBm
 		b := d.Field.Median(pair[1], cl.Loc).RSRPDBm
-		gap := a - b
+		gap := a.Sub(b)
 		if gap < 0 {
 			gap = -gap
 		}

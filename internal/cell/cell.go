@@ -14,6 +14,7 @@ import (
 
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // Ref identifies a cell the way the paper denotes it: ID@FreqChannelNo,
@@ -61,10 +62,11 @@ type Cell struct {
 	Ref
 	RAT        band.RAT
 	Pos        geo.Point // tower position in the area frame
-	TxPowerDBm float64   // effective transmit power incl. antenna gain
-	// NoiseDBm shifts this cell's effective RSRQ; wide, busy channels
-	// carry more interference than narrow ones.
-	NoiseDBm float64
+	TxPowerDBm units.DBm // effective transmit power incl. antenna gain
+	// NoiseDB shifts this cell's effective RSRQ; wide, busy channels
+	// carry more interference than narrow ones. It is a relative
+	// degradation, not an absolute noise floor — hence dB, not dBm.
+	NoiseDB units.DB
 	// MIMOLayers is the spatial-multiplexing configuration the network
 	// offers on this cell (2 for 2x2, 4 for 4x4), which §4.4 ties to
 	// device-dependent serving-cell selection.

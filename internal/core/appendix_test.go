@@ -10,6 +10,7 @@ import (
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/trace"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // These tests reconstruct the real-world loop instances of the paper's
@@ -19,7 +20,7 @@ import (
 // single occurrence is not a loop.
 
 // meas builds a measurement entry.
-func meas(refStr string, role rrc.MeasRole, rsrp, rsrq float64) rrc.MeasEntry {
+func meas(refStr string, role rrc.MeasRole, rsrp units.DBm, rsrq units.DB) rrc.MeasEntry {
 	return rrc.MeasEntry{Cell: ref(refStr), Role: role,
 		Meas: measpkg.Measurement{RSRPDBm: rsrp, RSRQDB: rsrq}}
 }

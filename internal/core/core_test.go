@@ -12,6 +12,7 @@ import (
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
 	"github.com/mssn/loopscope/internal/trace"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 func ref(s string) cell.Ref { return cell.MustRef(s) }
@@ -350,8 +351,8 @@ func TestFitRecoversPlantedModel(t *testing.T) {
 	var samples []Sample
 	for i := 0; i < 120; i++ {
 		combos := []Combo{{
-			PCellGapDB: rng.Float64()*40 - 20,
-			SCellGapDB: rng.Float64() * 25,
+			PCellGapDB: units.DB(rng.Float64()*40 - 20),
+			SCellGapDB: units.DB(rng.Float64() * 25),
 		}}
 		samples = append(samples, Sample{Combos: combos, Truth: truth.Predict(combos)})
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/mssn/loopscope/internal/stats"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // This file implements the §6 loop-probability model. For a location,
@@ -44,17 +45,17 @@ func (f FeatureKind) String() string {
 
 // WorstRSRPFloorDBm anchors the FeatureWorstRSRP margin; −130 dBm is
 // comfortably below the measurability floor so margins stay positive.
-const WorstRSRPFloorDBm = -130.0
+const WorstRSRPFloorDBm units.DBm = -130.0
 
 // Combo describes one cellset combination at a location by the features
 // the model needs.
 type Combo struct {
 	// PCellGapDB is RSRP(target PCell) − RSRP(best other candidate).
-	PCellGapDB float64
+	PCellGapDB units.DB
 	// SCellGapDB is |RSRP gap| between the two co-channel target SCells.
-	SCellGapDB float64
+	SCellGapDB units.DB
 	// WorstSCellRSRPDBm is the median RSRP of the weakest target SCell.
-	WorstSCellRSRPDBm float64
+	WorstSCellRSRPDBm units.DBm
 }
 
 // Sample is one training observation: the combinations present at a
@@ -75,18 +76,18 @@ type Model struct {
 // featureValue extracts the f2 feature of a combination.
 func (m *Model) featureValue(c Combo) float64 {
 	if m.Feature == FeatureWorstRSRP {
-		v := c.WorstSCellRSRPDBm - WorstRSRPFloorDBm
+		v := c.WorstSCellRSRPDBm.Sub(WorstRSRPFloorDBm).Float()
 		if v < 0 {
 			return 0
 		}
 		return v
 	}
-	return math.Abs(c.SCellGapDB)
+	return math.Abs(c.SCellGapDB.Float())
 }
 
 // Usage is f1: the probability this combination is the one in use.
 func (m *Model) Usage(c Combo) float64 {
-	return 1 / (1 + math.Exp(-m.K*c.PCellGapDB))
+	return 1 / (1 + math.Exp(-m.K*c.PCellGapDB.Float()))
 }
 
 // CondLoopProb is f2: the loop probability given the combination is used.

@@ -21,6 +21,7 @@ import (
 	"github.com/mssn/loopscope/internal/geo"
 	"github.com/mssn/loopscope/internal/policy"
 	"github.com/mssn/loopscope/internal/radio"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // Archetype labels the radio structure calibrated at a location. It is
@@ -275,8 +276,8 @@ func pickArchetype(ws []Weight, rng *rand.Rand) Archetype {
 // Calibrate sets a cell's TxPower so its median RSRP at loc equals
 // target; exported for custom experiment setups (e.g. the F12
 // regression).
-func Calibrate(f *radio.Field, c *cell.Cell, loc geo.Point, targetDBm float64) {
-	calibrate(f, c, loc, targetDBm)
+func Calibrate(f *radio.Field, c *cell.Cell, loc geo.Point, target units.DBm) {
+	calibrate(f, c, loc, target)
 }
 
 // NewCell constructs a deployed cell for custom setups.
@@ -287,10 +288,13 @@ func NewCell(rat band.RAT, pci, channel int, pos geo.Point, mimo int) *cell.Cell
 // calibrate sets a cell's TxPower so its *median* RSRP at loc equals
 // target. Because Field.Median is TxPower + deterministic terms, the
 // adjustment is exact.
-func calibrate(f *radio.Field, c *cell.Cell, loc geo.Point, targetDBm float64) {
+func calibrate(f *radio.Field, c *cell.Cell, loc geo.Point, target units.DBm) {
 	c.TxPowerDBm = 0
 	m0 := f.Median(c, loc)
-	c.TxPowerDBm = targetDBm - m0.RSRPDBm
+	// With zero transmit power the median is exactly the deterministic
+	// gain, so the required power is the target minus that gain.
+	gain := m0.RSRPDBm.Sub(0)
+	c.TxPowerDBm = target.Add(-gain)
 }
 
 // newCell constructs a cell at a tower position.
@@ -341,17 +345,17 @@ func buildSACluster(f *radio.Field, area AreaSpec, idx int, loc geo.Point,
 	scA := newCell(band.RATNR, p1, 387410, towerMain, 2)
 	scB := newCell(band.RATNR, p2, 387410, towerAlt, 2)
 
-	anchor := jitter(rng, -84, -80)
+	anchor := units.DBm(jitter(rng, -84, -80))
 	calibrate(f, c521, loc, anchor)
-	calibrate(f, c501, loc, anchor+jitter(rng, -1, 1))
-	calibrate(f, alt501, loc, anchor-jitter(rng, 10, 15))
-	calibrate(f, c71, loc, anchor-jitter(rng, 2, 6))
-	calibrate(f, c398, loc, anchor+jitter(rng, -1, 1.5))
-	calibrate(f, alt398, loc, anchor-jitter(rng, 12, 16))
+	calibrate(f, c501, loc, anchor.Add(units.DB(jitter(rng, -1, 1))))
+	calibrate(f, alt501, loc, anchor.Add(units.DB(-jitter(rng, 10, 15))))
+	calibrate(f, c71, loc, anchor.Add(units.DB(-jitter(rng, 2, 6))))
+	calibrate(f, c398, loc, anchor.Add(units.DB(jitter(rng, -1, 1.5))))
+	calibrate(f, alt398, loc, anchor.Add(units.DB(-jitter(rng, 12, 16))))
 
 	// The 387410 pair is where the archetypes differ.
-	aTarget := anchor - jitter(rng, 0, 2)
-	var bTarget float64
+	aTarget := anchor.Add(units.DB(-jitter(rng, 0, 2)))
+	var bTarget units.DBm
 	switch arch {
 	case ArchS1E3:
 		// Close medians: A3 fires on fading, modification keeps
@@ -359,17 +363,17 @@ func buildSACluster(f *radio.Field, area AreaSpec, idx int, loc geo.Point,
 		// a tail of marginal ones, spanning the likelihood range of
 		// Fig. 8 (always-loop sites down to occasional ones).
 		if rng.Float64() < 0.70 {
-			bTarget = aTarget - jitter(rng, 2.2, 7.0)
+			bTarget = aTarget.Add(units.DB(-jitter(rng, 2.2, 7.0)))
 		} else {
-			bTarget = aTarget - jitter(rng, 7.0, 11)
+			bTarget = aTarget.Add(units.DB(-jitter(rng, 7.0, 11)))
 		}
 	case ArchBenignSwap:
 		// Candidate genuinely stronger: one clean modification.
-		bTarget = aTarget + jitter(rng, 7, 11)
+		bTarget = aTarget.Add(units.DB(jitter(rng, 7, 11)))
 	case ArchS1E1:
 		// Configured partner deep below the measurability floor.
-		aTarget = jitter(rng, -136, -130)
-		bTarget = aTarget - jitter(rng, 4, 10)
+		aTarget = units.DBm(jitter(rng, -136, -130))
+		bTarget = aTarget.Add(units.DB(-jitter(rng, 4, 10)))
 	case ArchS1E2:
 		// Configured partner with terrible RSRQ but still measurable;
 		// its co-channel alternate sits below the floor so the failure
@@ -377,23 +381,23 @@ func buildSACluster(f *radio.Field, area AreaSpec, idx int, loc geo.Point,
 		// bad apple on 398410 instead (Table 5: 398410 contributes
 		// ~25% of S1E2 instances).
 		if rng.Float64() < 0.25 {
-			calibrate(f, c398, loc, jitter(rng, -115, -110))
+			calibrate(f, c398, loc, units.DBm(jitter(rng, -115, -110)))
 			// No usable co-channel alternate, or the network would
 			// simply replace the bad apple (the S1E2 flaw is that no
 			// command ever comes).
-			calibrate(f, alt398, loc, jitter(rng, -136, -129))
-			bTarget = aTarget - jitter(rng, 13, 20)
+			calibrate(f, alt398, loc, units.DBm(jitter(rng, -136, -129)))
+			bTarget = aTarget.Add(units.DB(-jitter(rng, 13, 20)))
 		} else {
-			aTarget = jitter(rng, -115, -110)
-			bTarget = jitter(rng, -136, -129)
+			aTarget = units.DBm(jitter(rng, -115, -110))
+			bTarget = units.DBm(jitter(rng, -136, -129))
 		}
 	default: // ArchClean
-		bTarget = aTarget - jitter(rng, 13, 20)
+		bTarget = aTarget.Add(units.DB(-jitter(rng, 13, 20)))
 	}
 	if area.ID == "A2" {
 		// A2's 387410 coverage is distinctly worse (Fig. 17b).
-		aTarget -= 6
-		bTarget -= 6
+		aTarget = aTarget.Add(-6)
+		bTarget = bTarget.Add(-6)
 	}
 	calibrate(f, scA, loc, aTarget)
 	calibrate(f, scB, loc, bTarget)
@@ -403,8 +407,8 @@ func buildSACluster(f *radio.Field, area AreaSpec, idx int, loc geo.Point,
 	// deployment inventory and drive-test statistics.
 	lte1 := newCell(band.RATLTE, p1, 850, towerMain, 2)
 	lte2 := newCell(band.RATLTE, p2, 66986, towerAlt, 2)
-	calibrate(f, lte1, loc, anchor-jitter(rng, 8, 14))
-	calibrate(f, lte2, loc, anchor-jitter(rng, 10, 16))
+	calibrate(f, lte1, loc, anchor.Add(units.DB(-jitter(rng, 8, 14))))
+	calibrate(f, lte2, loc, anchor.Add(units.DB(-jitter(rng, 10, 16))))
 
 	return &Cluster{Index: idx, Loc: loc, Arch: arch,
 		Cells: []*cell.Cell{c521, c501, alt501, c71, c398, alt398, scA, scB, lte1, lte2}}
@@ -434,12 +438,12 @@ func buildNSACluster(op *policy.Operator, f *radio.Field, area AreaSpec, idx int
 	prob := newCell(band.RATLTE, p1, problem, towerMain, 2)
 	cells = append(cells, good, prob)
 
-	goodTarget := jitter(rng, -97, -92)
+	goodTarget := units.DBm(jitter(rng, -97, -92))
 	switch arch {
 	case ArchN1E1:
-		goodTarget = jitter(rng, -121.5, -119) // RLF territory after redirect
+		goodTarget = units.DBm(jitter(rng, -121.5, -119)) // RLF territory after redirect
 	case ArchN1E2:
-		goodTarget = jitter(rng, -128, -125) // handover execution fails
+		goodTarget = units.DBm(jitter(rng, -128, -125)) // handover execution fails
 	default:
 		// Every other archetype keeps the healthy -97..-92 dBm target:
 		// only the N1 loops need a weak redirect/handover victim.
@@ -448,39 +452,39 @@ func buildNSACluster(op *policy.Operator, f *radio.Field, area AreaSpec, idx int
 	// The problem cell: decent RSRP (low band travels) and, on loop
 	// archetypes, a *marginal* RSRQ edge that keeps A3 firing on fading
 	// without firing every report (the ON dwell times of Fig. 10 come
-	// from exactly this margin). NoiseDBm < 0 improves its RSRQ: the
+	// from exactly this margin). NoiseDB < 0 improves its RSRQ: the
 	// channel is "5G-disabled"/underused (F15).
-	var probTarget float64
+	var probTarget units.DBm
 	if op.Name == "OPV" {
 		// OPV's 5230 is the local RSRP leader, so leaving it (A3 RSRP
 		// toward 66586) is fading-driven and slow — long ON dwells.
-		probTarget = goodTarget + jitter(rng, 2.5, 4.5)
+		probTarget = goodTarget.Add(units.DB(jitter(rng, 2.5, 4.5)))
 	} else {
-		probTarget = goodTarget + jitter(rng, 1, 3)
+		probTarget = goodTarget.Add(units.DB(jitter(rng, 1, 3)))
 	}
 	switch arch {
 	case ArchN2E1, ArchN1E2:
 		// Marginal RSRQ edge: A3 keeps firing toward the problem cell
 		// on fading.
-		prob.NoiseDBm = jitter(rng, -0.1, 0.4)
+		prob.NoiseDB = units.DB(jitter(rng, -0.1, 0.4))
 	case ArchN1E1:
 		// No edge even against a floor-RSRQ serving cell: the UE must
 		// stay camped on the weak redirect target until RLF strikes.
-		prob.NoiseDBm = jitter(rng, 13, 16)
+		prob.NoiseDB = units.DB(jitter(rng, 13, 16))
 	default:
-		prob.NoiseDBm = jitter(rng, 6, 10) // loaded: RSRQ edge absent
+		prob.NoiseDB = units.DB(jitter(rng, 6, 10)) // loaded: RSRQ edge absent
 	}
 	switch arch {
 	case ArchN1E1, ArchN1E2:
 		// The redirect target is the weak link; the problem cell keeps
 		// its strength so the UE keeps coming back to it.
-		probTarget = jitter(rng, -96, -91)
+		probTarget = units.DBm(jitter(rng, -96, -91))
 	case ArchClean, ArchN2E2:
 		// F14: the problematic channel is *rarely used* outside its
 		// loop sites — weak enough to lose even with its reselection
 		// priority.
-		probTarget = goodTarget - jitter(rng, 13, 18)
-		prob.NoiseDBm = jitter(rng, 6, 10)
+		probTarget = goodTarget.Add(units.DB(-jitter(rng, 13, 18)))
+		prob.NoiseDB = units.DB(jitter(rng, 6, 10))
 	default:
 		// N2E1/N2E2 keep the marginal probTarget edge set above — that
 		// edge is exactly what makes their A3 ping-pong fire.
@@ -492,12 +496,12 @@ func buildNSACluster(op *policy.Operator, f *radio.Field, area AreaSpec, idx int
 	if op.Name == "OPV" {
 		fallback = newCell(band.RATLTE, p2, 1075, towerAlt, 2)
 	}
-	calibrate(f, fallback, loc, jitter(rng, -106, -101))
+	calibrate(f, fallback, loc, units.DBm(jitter(rng, -106, -101)))
 	cells = append(cells, fallback)
 	for i, ch := range fillerLTE(op) {
 		pci := p3 + i*31
 		c := newCell(band.RATLTE, pci, ch, towerAlt, 2)
-		calibrate(f, c, loc, jitter(rng, -112, -102))
+		calibrate(f, c, loc, units.DBm(jitter(rng, -112, -102)))
 		cells = append(cells, c)
 	}
 
@@ -510,18 +514,18 @@ func buildNSACluster(op *policy.Operator, f *radio.Field, area AreaSpec, idx int
 	ps := newCell(band.RATNR, p1, nrCh, towerMain, 2)
 	psSCell := newCell(band.RATNR, p1, nrSCellCh, towerMain, 2)
 	altPS := newCell(band.RATNR, p2, nrCh, towerAlt, 2)
-	psTarget := jitter(rng, -108, -102)
+	psTarget := units.DBm(jitter(rng, -108, -102))
 	calibrate(f, ps, loc, psTarget)
-	calibrate(f, psSCell, loc, psTarget-jitter(rng, 4, 7))
+	calibrate(f, psSCell, loc, psTarget.Add(units.DB(-jitter(rng, 4, 7))))
 	if arch == ArchN2E2 {
-		calibrate(f, altPS, loc, psTarget-jitter(rng, 3, 9))
+		calibrate(f, altPS, loc, psTarget.Add(units.DB(-jitter(rng, 3, 9))))
 	} else {
-		calibrate(f, altPS, loc, psTarget-jitter(rng, 14, 20))
+		calibrate(f, altPS, loc, psTarget.Add(units.DB(-jitter(rng, 14, 20))))
 	}
 	cells = append(cells, ps, psSCell, altPS)
 	if op.Name == "OPA" {
 		n5 := newCell(band.RATNR, p3, 174770, towerAlt, 2)
-		calibrate(f, n5, loc, jitter(rng, -112, -106))
+		calibrate(f, n5, loc, units.DBm(jitter(rng, -112, -106)))
 		cells = append(cells, n5)
 	}
 

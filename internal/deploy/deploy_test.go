@@ -8,6 +8,7 @@ import (
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/policy"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 func TestAreasInventory(t *testing.T) {
@@ -114,7 +115,7 @@ func TestSACalibration(t *testing.T) {
 		}
 		a := d.Field.Median(pair[0], cl.Loc).RSRPDBm
 		b := d.Field.Median(pair[1], cl.Loc).RSRPDBm
-		gap := math.Abs(a - b)
+		gap := math.Abs(a.Sub(b).Float())
 		switch cl.Arch {
 		case ArchS1E3:
 			if gap > 11.5 {
@@ -125,7 +126,7 @@ func TestSACalibration(t *testing.T) {
 				t.Errorf("clean cluster %d: gap %.1f too narrow", cl.Index, gap)
 			}
 		case ArchS1E1:
-			worst := math.Min(a, b)
+			worst := units.DBm(math.Min(a.Float(), b.Float()))
 			if worst > -125 {
 				t.Errorf("S1E1 cluster %d: partner %.1f should be below the floor", cl.Index, worst)
 			}

@@ -12,6 +12,7 @@ import (
 	"github.com/mssn/loopscope/internal/radio"
 	"github.com/mssn/loopscope/internal/trace"
 	"github.com/mssn/loopscope/internal/uesim"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // StickinessAblation demonstrates the design claim in DESIGN.md's
@@ -32,7 +33,7 @@ func StickinessAblation(c *Context) *Result {
 	field := radio.NewField(c.Opts.Seed + 7331)
 	loc := geo.P(0, 0)
 	towerA, towerB := geo.P(-200, 150), geo.P(210, -160)
-	mk := func(pci, ch int, pos geo.Point, target float64) *cell.Cell {
+	mk := func(pci, ch int, pos geo.Point, target units.DBm) *cell.Cell {
 		cc := deploy.NewCell(band.RATNR, pci, ch, pos, 4)
 		if ch == 387410 || ch == 398410 {
 			cc.MIMOLayers = 2

@@ -293,7 +293,7 @@ func Fig17(c *Context) *Result {
 				for _, cc := range cl.CellsOnChannel(ch) {
 					xs := make([]float64, 120)
 					for i := range xs {
-						xs[i] = a.Dep.Field.Sample(cc, cl.Loc, rng).RSRPDBm
+						xs[i] = a.Dep.Field.Sample(cc, cl.Loc, rng).RSRPDBm.Float()
 					}
 					p10[ch] = append(p10[ch], stats.Percentile(xs, 10))
 				}
@@ -314,7 +314,7 @@ func Fig17(c *Context) *Result {
 		var meds []float64
 		for _, cl := range a.Dep.Clusters {
 			for _, cc := range cl.CellsOnChannel(387410) {
-				meds = append(meds, a.Dep.Field.Median(cc, cl.Loc).RSRPDBm)
+				meds = append(meds, a.Dep.Field.Median(cc, cl.Loc).RSRPDBm.Float())
 			}
 		}
 		r.addf("(b) %-4s median 387410 RSRP: %7.1f dBm", a.Spec.ID, stats.Median(meds))
@@ -334,7 +334,7 @@ func Fig17(c *Context) *Result {
 			if partner == nil {
 				continue
 			}
-			m := a.Dep.Field.Median(partner, cl.Loc).RSRPDBm
+			m := a.Dep.Field.Median(partner, cl.Loc).RSRPDBm.Float()
 			if rec.HasLoop() {
 				bySub[rec.Subtype()] = append(bySub[rec.Subtype()], m)
 			} else {

@@ -31,7 +31,7 @@ func F12Regression(c *Context) *Result {
 	field := radio.NewField(c.Opts.Seed + 99)
 	loc := geo.P(0, 0)
 	lte := deploy.NewCell(band.RATLTE, 101, 5145, geo.P(-180, 120), 2)
-	lte.NoiseDBm = 8 // no RSRQ edge anywhere: isolate the A2-B1 mechanism
+	lte.NoiseDB = 8 // no RSRQ edge anywhere: isolate the A2-B1 mechanism
 	ps := deploy.NewCell(band.RATNR, 101, 632736, geo.P(-180, 120), 2)
 	psSCell := deploy.NewCell(band.RATNR, 101, 658080, geo.P(-180, 120), 2)
 	deploy.Calibrate(field, lte, loc, -95)

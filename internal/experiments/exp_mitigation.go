@@ -116,7 +116,7 @@ func findArchCluster(op *policy.Operator, areaID string, arch deploy.Archetype, 
 			}
 			gap := 0.0
 			if pair := cl.CellsOnChannel(387410); len(pair) == 2 {
-				gap = dep.Field.Median(pair[0], cl.Loc).RSRPDBm - dep.Field.Median(pair[1], cl.Loc).RSRPDBm
+				gap = dep.Field.Median(pair[0], cl.Loc).RSRPDBm.Sub(dep.Field.Median(pair[1], cl.Loc).RSRPDBm).Float()
 				if gap < 0 {
 					gap = -gap
 				}

@@ -71,7 +71,7 @@ func Fig21(c *Context) *Result {
 
 	var gaps, probs []float64
 	for _, p := range pts {
-		gaps = append(gaps, math.Abs(p.Combo.SCellGapDB))
+		gaps = append(gaps, math.Abs(p.Combo.SCellGapDB.Float()))
 		probs = append(probs, p.ProbS1E3)
 	}
 	rho := stats.Spearman(gaps, probs)
@@ -144,7 +144,7 @@ func usageTransect(c *Context) (pgaps, usages []float64) {
 			default:
 				continue
 			}
-			score := dep.Field.Median(cc, p).RSRPDBm + op.AnchorPriorityDB[cc.Channel]
+			score := dep.Field.Median(cc, p).RSRPDBm.Add(op.AnchorPriorityDB[cc.Channel]).Float()
 			if cc.PCI == targetPCI {
 				if score > best {
 					best = score

@@ -94,7 +94,7 @@ func Table2(c *Context) *Result {
 		// >500 samples per cell, as in the paper.
 		xs := make([]float64, 600)
 		for i := range xs {
-			xs[i] = dep.Field.Sample(cc, cl.Loc, rng).RSRPDBm
+			xs[i] = dep.Field.Sample(cc, cl.Loc, rng).RSRPDBm.Float()
 		}
 		med, mad := stats.Median(xs), stats.MAD(xs)
 		r.addf("%-14s %-5s %6.0f MHz %4.0f MHz %7.1f ± %.1f dBm",
@@ -105,7 +105,7 @@ func Table2(c *Context) *Result {
 	// pair shares a narrow channel.
 	pair := cl.CellsOnChannel(387410)
 	if len(pair) == 2 {
-		g := dep.Field.Median(pair[0], cl.Loc).RSRPDBm - dep.Field.Median(pair[1], cl.Loc).RSRPDBm
+		g := dep.Field.Median(pair[0], cl.Loc).RSRPDBm.Sub(dep.Field.Median(pair[1], cl.Loc).RSRPDBm).Float()
 		if g < 0 {
 			g = -g
 		}

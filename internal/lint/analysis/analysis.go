@@ -23,6 +23,33 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports findings via pass.Reportf.
 	Run func(*Pass) error
+
+	// Requires lists analyzers that must have run — over this package
+	// and over every module-local dependency — before this one, so
+	// their exported facts are visible through ImportObjectFact. The
+	// driver expands the closure and rejects cycles.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer may export, as
+	// typed nil pointers (e.g. (*UnitFact)(nil)). Exporting an
+	// undeclared fact type panics: fact flow must be auditable from
+	// the analyzer declarations alone.
+	FactTypes []Fact
+}
+
+// A Fact is a unit of information derived while analyzing one package
+// and importable by analyses of packages that depend on it — the
+// cross-package channel of the framework, mirroring x/tools
+// analysis.Fact. Facts are keyed by the types.Object they describe;
+// because the loader caches type-checked packages, an object seen
+// through an import is identical to the one seen while analyzing its
+// declaring package, so plain object identity is the key.
+//
+// Implementations must be pointer types; ImportObjectFact copies the
+// stored value through the pointer.
+type Fact interface {
+	// AFact is a marker method tying the implementation to this
+	// interface at compile time.
+	AFact()
 }
 
 // Pass carries one type-checked package through an Analyzer.
@@ -38,6 +65,14 @@ type Pass struct {
 	Info *types.Info
 
 	Report func(Diagnostic)
+
+	// ExportObjectFact associates fact with obj for downstream
+	// analyzers (same package or importers). Wired by the driver; nil
+	// when the host runs a single analyzer without fact support.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies into fact the fact of fact's type
+	// previously exported for obj, reporting whether one existed.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
 }
 
 // Reportf reports a finding at pos.

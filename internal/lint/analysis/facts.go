@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// FactStore holds the facts exported during one driver run, shared
+// across every (package, analyzer) pass so facts exported while
+// analyzing a dependency are importable downstream. It is keyed by
+// (types.Object, concrete fact type), so distinct analyzers can attach
+// distinct facts to the same object. Not safe for concurrent use.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[factKey]Fact{}} }
+
+// Bind wires a Pass's fact hooks to this store on behalf of a. Export
+// enforces a's FactTypes declaration; import is unrestricted, since
+// reading a fact is how Requires edges are consumed.
+func (s *FactStore) Bind(pass *Pass, a *Analyzer) {
+	pass.ExportObjectFact = func(obj types.Object, fact Fact) {
+		s.export(a, obj, fact)
+	}
+	pass.ImportObjectFact = s.Import
+}
+
+func (s *FactStore) export(a *Analyzer, obj types.Object, fact Fact) {
+	if obj == nil {
+		panic(fmt.Sprintf("analyzer %s: ExportObjectFact with nil object", a.Name))
+	}
+	ft := reflect.TypeOf(fact)
+	if ft == nil || ft.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analyzer %s: fact %T is not a pointer type", a.Name, fact))
+	}
+	declared := false
+	for _, d := range a.FactTypes {
+		if reflect.TypeOf(d) == ft {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		panic(fmt.Sprintf("analyzer %s: exports undeclared fact type %T (add it to FactTypes)", a.Name, fact))
+	}
+	s.m[factKey{obj, ft}] = fact
+}
+
+// Import copies into fact the stored fact of the same concrete type
+// for obj, reporting whether one existed.
+func (s *FactStore) Import(obj types.Object, fact Fact) bool {
+	ft := reflect.TypeOf(fact)
+	if ft == nil || ft.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("ImportObjectFact: fact %T is not a pointer type", fact))
+	}
+	got, ok := s.m[factKey{obj, ft}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// Closure expands analyzers with their transitive Requires and returns
+// them in dependency-first order, so a driver can run them in sequence
+// and every fact a later analyzer imports has been exported. A cycle
+// in the Requires graph is an error naming the path.
+func Closure(analyzers []*Analyzer) ([]*Analyzer, error) {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[*Analyzer]int{}
+	var order []*Analyzer
+	var visit func(a *Analyzer, stack []string) error
+	visit = func(a *Analyzer, stack []string) error {
+		switch state[a] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analyzer requires cycle: %s -> %s",
+				joinNames(stack), a.Name)
+		}
+		state[a] = visiting
+		for _, dep := range a.Requires {
+			if err := visit(dep, append(stack, a.Name)); err != nil {
+				return err
+			}
+		}
+		state[a] = done
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func joinNames(stack []string) string {
+	out := ""
+	for i, s := range stack {
+		if i > 0 {
+			out += " -> "
+		}
+		out += s
+	}
+	return out
+}

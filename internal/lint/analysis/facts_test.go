@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// markFact is a minimal pointer fact for the store tests.
+type markFact struct{ Label string }
+
+func (*markFact) AFact() {}
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	exporter := &analysis.Analyzer{Name: "exp", FactTypes: []analysis.Fact{(*markFact)(nil)}}
+	importer := &analysis.Analyzer{Name: "imp", Requires: []*analysis.Analyzer{exporter}}
+	store := analysis.NewFactStore()
+	obj := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Float64])
+
+	expPass := &analysis.Pass{Analyzer: exporter}
+	store.Bind(expPass, exporter)
+	expPass.ExportObjectFact(obj, &markFact{Label: "dBm"})
+
+	impPass := &analysis.Pass{Analyzer: importer}
+	store.Bind(impPass, importer)
+	var got markFact
+	if !impPass.ImportObjectFact(obj, &got) {
+		t.Fatal("fact exported by exp is not importable through the shared store")
+	}
+	if got.Label != "dBm" {
+		t.Errorf("imported fact = %+v, want Label dBm", got)
+	}
+	other := types.NewVar(token.NoPos, nil, "y", types.Typ[types.Float64])
+	if impPass.ImportObjectFact(other, &got) {
+		t.Error("import reported a fact for an object that has none")
+	}
+}
+
+func TestFactStoreRejectsUndeclaredType(t *testing.T) {
+	a := &analysis.Analyzer{Name: "nodecl"}
+	store := analysis.NewFactStore()
+	pass := &analysis.Pass{Analyzer: a}
+	store.Bind(pass, a)
+	obj := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Float64])
+	defer func() {
+		if recover() == nil {
+			t.Error("exporting a fact type absent from FactTypes did not panic")
+		}
+	}()
+	pass.ExportObjectFact(obj, &markFact{})
+}
+
+func TestClosureOrdersRequiresFirst(t *testing.T) {
+	decl := &analysis.Analyzer{Name: "decl"}
+	check := &analysis.Analyzer{Name: "check", Requires: []*analysis.Analyzer{decl}}
+	// check listed first, decl also listed explicitly: the closure must
+	// dedupe and put the dependency before its dependent.
+	order, err := analysis.Closure([]*analysis.Analyzer{check, decl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != decl || order[1] != check {
+		names := make([]string, len(order))
+		for i, a := range order {
+			names[i] = a.Name
+		}
+		t.Errorf("closure order = %v, want [decl check]", names)
+	}
+}
+
+func TestClosureRejectsCycle(t *testing.T) {
+	a := &analysis.Analyzer{Name: "a"}
+	b := &analysis.Analyzer{Name: "b", Requires: []*analysis.Analyzer{a}}
+	a.Requires = []*analysis.Analyzer{b}
+	_, err := analysis.Closure([]*analysis.Analyzer{a})
+	if err == nil || !strings.Contains(err.Error(), "requires cycle") {
+		t.Errorf("Closure on a cyclic graph = %v, want a requires-cycle error naming the path", err)
+	}
+}

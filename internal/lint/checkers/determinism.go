@@ -17,6 +17,17 @@ var wallClockFuncs = map[string]bool{
 	"Until": true,
 }
 
+// timerFuncs are the time-package entry points that schedule against
+// the machine clock. A timer or ticker couples the run to real elapsed
+// time, which is as irreproducible as reading time.Now directly.
+var timerFuncs = map[string]bool{
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
 // seededRandFuncs are the only math/rand entry points that construct an
 // explicitly seeded generator. Everything else at package level draws
 // from the process-global source.
@@ -37,7 +48,8 @@ var seededRandFuncs = map[string]bool{
 func Determinism(scope []string) *analysis.Analyzer {
 	a := &analysis.Analyzer{
 		Name: "determinism",
-		Doc: "forbid wall-clock reads (time.Now/Since/Until), global math/rand draws, " +
+		Doc: "forbid wall-clock reads (time.Now/Since/Until), real timers " +
+			"(time.NewTimer/NewTicker/Tick/After/AfterFunc), global math/rand draws, " +
 			"and constant RNG seeds in simulation/analysis packages; every source of " +
 			"randomness must be constructed from an explicit seed parameter (DESIGN.md §Determinism)",
 	}
@@ -95,6 +107,10 @@ func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 		if wallClockFuncs[name] {
 			pass.Reportf(sel.Pos(),
 				"wall-clock read time.%s breaks bit-reproducible replay; use simulated time or pass a timestamp in (DESIGN.md §Determinism)", name)
+		}
+		if timerFuncs[name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s schedules against the machine clock; advance simulated time explicitly instead of arming real timers (DESIGN.md §Determinism)", name)
 		}
 	case "math/rand", "math/rand/v2":
 		if !seededRandFuncs[name] {

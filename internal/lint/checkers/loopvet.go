@@ -30,46 +30,48 @@ var LayeringRules = map[string]Rule{
 	"geo":    {Reason: "geometry is a leaf utility package"},
 	"device": {Reason: "device profiles are a leaf data package"},
 	"stats":  {Reason: "statistics helpers are a leaf utility package"},
-	"meas":   {Reason: "the measurement vocabulary sits on the methodology boundary and must stay simulator-free"},
-	"obs":    {Reason: "observability is a leaf utility layer: metrics observe every package but may never influence domain behaviour"},
-	"viz":    {Reason: "terminal rendering is a leaf utility package"},
+	"units":  {Reason: "typed physical quantities (dBm/dB/ms/Hz/m) are the innermost vocabulary; everything above may depend on them"},
+	"meas": {Allow: []string{"units"},
+		Reason: "the measurement vocabulary sits on the methodology boundary and must stay simulator-free"},
+	"obs": {Reason: "observability is a leaf utility layer: metrics observe every package but may never influence domain behaviour"},
+	"viz": {Reason: "terminal rendering is a leaf utility package"},
 
 	"faults": {Allow: []string{"obs"},
 		Reason: "fault injection mutates raw capture text and may not know about any domain package; it only reports what it injected"},
 
-	"cell": {Allow: []string{"band", "geo"},
+	"cell": {Allow: []string{"band", "geo", "units"},
 		Reason: "cell identity and set algebra build only on frequency and geometry vocabulary"},
-	"rrc": {Allow: []string{"band", "cell", "meas"},
+	"rrc": {Allow: []string{"band", "cell", "meas", "units"},
 		Reason: "the RRC message model is shared by emitter and parser, so it must stay simulator-free"},
 
 	// The methodology boundary (§4): the analysis side consumes parsed
 	// NSG-style logs and never touches simulator internals (DESIGN.md:
 	// "analysis never touches simulator internals — it parses the logs").
-	"sig": {Allow: []string{"band", "cell", "meas", "obs", "rrc"},
+	"sig": {Allow: []string{"band", "cell", "meas", "obs", "rrc", "units"},
 		Reason: "the log format IS the methodology boundary; it may not import anything simulator-side"},
-	"trace": {Allow: []string{"band", "cell", "meas", "rrc", "sig"},
+	"trace": {Allow: []string{"band", "cell", "meas", "rrc", "sig", "units"},
 		Reason: "Appendix-B timeline folding works on parsed logs only (§4 methodology)"},
-	"core": {Allow: []string{"band", "cell", "meas", "rrc", "stats", "trace"},
+	"core": {Allow: []string{"band", "cell", "meas", "rrc", "stats", "trace", "units"},
 		Reason: "detection/classification consumes only the parsed log timeline, like the paper's §4 pipeline"},
 
 	// Simulator side.
-	"radio": {Allow: []string{"band", "cell", "geo", "meas"},
+	"radio": {Allow: []string{"band", "cell", "geo", "meas", "units"},
 		Reason: "the synthetic radio environment uses identity/geometry/measurement vocabulary but not policy or the run engine"},
-	"policy": {Allow: []string{"band", "meas"},
+	"policy": {Allow: []string{"band", "meas", "units"},
 		Reason: "operator policy is pure configuration over the measurement vocabulary"},
-	"deploy": {Allow: []string{"band", "cell", "geo", "meas", "policy", "radio"},
+	"deploy": {Allow: []string{"band", "cell", "geo", "meas", "policy", "radio", "units"},
 		Reason: "deployments compose cells, geometry, policy and the radio field"},
-	"throughput": {Allow: []string{"band", "cell", "meas", "policy", "stats", "trace"},
+	"throughput": {Allow: []string{"band", "cell", "meas", "policy", "stats", "trace", "units"},
 		Reason: "the speed model maps RRC states (from the parsed timeline) to throughput"},
-	"uesim": {Allow: []string{"band", "cell", "deploy", "device", "geo", "meas", "obs", "policy", "radio", "rrc", "sig"},
+	"uesim": {Allow: []string{"band", "cell", "deploy", "device", "geo", "meas", "obs", "policy", "radio", "rrc", "sig", "units"},
 		Reason: "the run engine drives UE ↔ network exchanges and emits logs; it sits above every simulator layer"},
 
 	// Orchestration.
 	"campaign": {Allow: []string{"band", "cell", "core", "deploy", "device", "faults", "geo", "meas",
-		"obs", "policy", "rrc", "sig", "throughput", "trace", "uesim"},
+		"obs", "policy", "rrc", "sig", "throughput", "trace", "uesim", "units"},
 		Reason: "the campaign runner orchestrates simulation and analysis end-to-end"},
 	"experiments": {Allow: []string{"band", "campaign", "cell", "core", "deploy", "device", "faults", "geo",
-		"meas", "policy", "radio", "sig", "stats", "throughput", "trace", "uesim", "viz"},
+		"meas", "policy", "radio", "sig", "stats", "throughput", "trace", "uesim", "viz", "units"},
 		Reason: "experiment generators may reach every layer to reproduce the paper's tables and figures"},
 	"report": {Allow: []string{"campaign", "core", "experiments", "stats"},
 		Reason: "reporting renders campaign and experiment output"},
@@ -103,14 +105,20 @@ var ClosedEnums = []Enum{
 var ApprovedFloatCmp = []string{
 	"internal/meas.ApproxEqual",
 	"internal/meas.ApproxEqualEps",
+	"internal/units.ApproxEqual",
+	"internal/units.ApproxEqualEps",
 }
 
 // Suite returns the production loopvet analyzer set for the module.
+// unitdecl is pulled in through unitcheck's Requires edge, so the
+// driver runs it first and its facts are in place.
 func Suite(modulePath string) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Determinism(DeterminismScope),
 		Layering(modulePath, LayeringRules, LayeringExempt),
 		Exhaustive(ClosedEnums),
 		Floatcmp(ApprovedFloatCmp),
+		UnitCheck(UnitDecl()),
+		RngFlow(),
 	}
 }

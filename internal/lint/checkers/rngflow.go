@@ -1,0 +1,318 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// RngFlow returns the taint analyzer that is the static counterpart of
+// the metrics-parity runtime gate: it tracks values derived from
+// *rand.Rand draws within each function and reports them reaching
+// sinks whose ordering the runtime does not define —
+//
+//   - ranging over a map holding rand-derived values while feeding
+//     output (fmt printing, Write* calls) directly from the loop body:
+//     iteration order varies run to run, so the emitted order does
+//     too. Collect into a slice, sort, then emit.
+//   - appending rand-derived values to an outer slice from inside a
+//     goroutine: scheduler order decides the element order. Use an
+//     indexed write (results[i] = ...) or per-worker slices merged
+//     deterministically.
+//
+// The taint is deliberately shallow (per function, no interprocedural
+// summaries): a value is tainted when it comes from a math/rand draw,
+// from a call handed a *rand.Rand, or from arithmetic/indexing over
+// tainted values. That is enough to catch the real mistake — RNG
+// output escaping through an unordered container — without flagging
+// the repo's sanctioned patterns (sorted candidate slices, indexed
+// worker writes).
+func RngFlow() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "rngflow",
+		Doc: "report rand-derived values reaching nondeterministic sinks: map ranges that " +
+			"feed output directly, and goroutine-ordered appends (DESIGN.md §Determinism)",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkFuncFlow(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkFuncFlow computes the function's taint fixpoint, then scans for
+// sinks.
+func checkFuncFlow(pass *analysis.Pass, fn *ast.FuncDecl) {
+	taint := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if exprTainted(pass, taint, n.Rhs[i]) && taintTarget(pass, taint, n.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else if len(n.Rhs) == 1 && exprTainted(pass, taint, n.Rhs[0]) {
+					for _, lhs := range n.Lhs {
+						if taintTarget(pass, taint, lhs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if exprTainted(pass, taint, n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if e != nil && taintTarget(pass, taint, e) {
+							changed = true
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && exprTainted(pass, taint, vs.Values[i]) &&
+							taintTarget(pass, taint, name) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if exprTainted(pass, taint, n.X) && rangeBodyEmits(pass, n.Body) {
+				pass.Reportf(n.For,
+					"map %s holds rand-derived values and this range feeds output directly; map iteration order is nondeterministic — collect into a slice, sort, then emit (DESIGN.md §Determinism)",
+					types.ExprString(n.X))
+			}
+		case *ast.GoStmt:
+			lit, ok := n.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineAppends(pass, taint, lit)
+		}
+		return true
+	})
+}
+
+// taintTarget marks the root object written through lhs (unwrapping
+// indexing, field selection and dereference, so m[k] = v taints m).
+// Reports whether the object was newly tainted.
+func taintTarget(pass *analysis.Pass, taint map[types.Object]bool, lhs ast.Expr) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			obj := pass.Info.Defs[e]
+			if obj == nil {
+				obj = pass.Info.Uses[e]
+			}
+			if obj == nil || taint[obj] {
+				return false
+			}
+			taint[obj] = true
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// exprTainted reports whether e carries rand-derived data under the
+// current taint set.
+func exprTainted(pass *analysis.Pass, taint map[types.Object]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		return obj != nil && taint[obj]
+	case *ast.ParenExpr:
+		return exprTainted(pass, taint, e.X)
+	case *ast.UnaryExpr:
+		return exprTainted(pass, taint, e.X)
+	case *ast.StarExpr:
+		return exprTainted(pass, taint, e.X)
+	case *ast.BinaryExpr:
+		return exprTainted(pass, taint, e.X) || exprTainted(pass, taint, e.Y)
+	case *ast.IndexExpr:
+		return exprTainted(pass, taint, e.X)
+	case *ast.SelectorExpr:
+		return exprTainted(pass, taint, e.X)
+	case *ast.TypeAssertExpr:
+		return exprTainted(pass, taint, e.X)
+	case *ast.KeyValueExpr:
+		return exprTainted(pass, taint, e.Value)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if exprTainted(pass, taint, elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isRandDraw(pass, e) {
+			return true
+		}
+		for _, arg := range e.Args {
+			if exprTainted(pass, taint, arg) || isRandValued(pass, arg) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isRandDraw reports whether call invokes a math/rand draw: any method
+// of the package's types (Rand, Zipf, Source) or a package-level
+// function other than the generator constructors.
+func isRandDraw(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return true
+	}
+	return !seededRandFuncs[fn.Name()]
+}
+
+// isRandValued reports whether e's type is (a pointer to) rand.Rand —
+// handing a generator to a call makes the result rand-derived.
+func isRandValued(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	return (pkg == "math/rand" || pkg == "math/rand/v2") && named.Obj().Name() == "Rand"
+}
+
+// rangeBodyEmits reports whether the loop body feeds output directly:
+// an fmt print call or any Write* method call.
+func rangeBodyEmits(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	emits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		name := fn.Name()
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(name == "Print" || name == "Printf" || name == "Println" ||
+				name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+			emits = true
+			return false
+		}
+		if fn.Type().(*types.Signature).Recv() != nil && len(name) >= 5 && name[:5] == "Write" {
+			emits = true
+			return false
+		}
+		return true
+	})
+	return emits
+}
+
+// checkGoroutineAppends reports appends of tainted values to variables
+// captured from outside the goroutine's function literal.
+func checkGoroutineAppends(pass *analysis.Pass, taint map[types.Object]bool, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		tainted := false
+		for _, arg := range call.Args[1:] {
+			if exprTainted(pass, taint, arg) {
+				tainted = true
+				break
+			}
+		}
+		if !tainted {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()) {
+			return true // goroutine-local slice: ordering is its own business
+		}
+		pass.Reportf(assign.Pos(),
+			"append to %s inside a goroutine carries rand-derived values in scheduler order; use an indexed write (results[i] = ...) or per-worker slices merged deterministically (DESIGN.md §Determinism)",
+			id.Name)
+		return true
+	})
+}

@@ -1,0 +1,38 @@
+// timers.go seeds the timer/ticker flagging paths, and does it through
+// aliased imports so the test proves the analyzer resolves packages
+// from the type information (go/types Uses), not from the source text
+// of the selector.
+package detbad
+
+import (
+	random "math/rand"
+	clock "time"
+)
+
+func armTimer() *clock.Timer {
+	return clock.NewTimer(clock.Second) // want "time.NewTimer schedules against the machine clock"
+}
+
+func armTicker() *clock.Ticker {
+	return clock.NewTicker(clock.Second) // want "time.NewTicker schedules against the machine clock"
+}
+
+func tickChan() <-chan clock.Time {
+	return clock.Tick(clock.Second) // want "time.Tick schedules against the machine clock"
+}
+
+func afterChan() <-chan clock.Time {
+	return clock.After(clock.Second) // want "time.After schedules against the machine clock"
+}
+
+func afterFunc(f func()) *clock.Timer {
+	return clock.AfterFunc(clock.Second, f) // want "time.AfterFunc schedules against the machine clock"
+}
+
+func aliasedWallClock() clock.Time {
+	return clock.Now() // want "wall-clock read time.Now breaks bit-reproducible replay"
+}
+
+func aliasedGlobalDraw() int {
+	return random.Int() // want "global rand.Int draws from the process-wide source"
+}

@@ -1,0 +1,190 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/mssn/loopscope/internal/lint/analysis"
+)
+
+// UnitFact marks a named numeric type as a physical-unit type (DBm,
+// DB, Millis, ...). It is exported by the unitdecl analyzer for every
+// such type declared in a package named "units" and imported by
+// unitcheck wherever the type is used — the fact channel is what makes
+// the check work across package boundaries.
+type UnitFact struct {
+	// Unit is the type name, doubling as the unit's display name.
+	Unit string
+}
+
+// AFact marks UnitFact as an analysis.Fact.
+func (*UnitFact) AFact() {}
+
+// UnitDecl returns the fact-exporting analyzer that declares which
+// named types are physical units: every defined type with a numeric
+// underlying type in a package named "units" (the real internal/units
+// and the fixture packages in testdata). It reports no diagnostics.
+func UnitDecl() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "unitdecl",
+		Doc: "export a UnitFact for every named numeric type declared in a package " +
+			"named units, so unitcheck can recognise unit-typed values across package boundaries",
+		FactTypes: []analysis.Fact{(*UnitFact)(nil)},
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if pass.Pkg.Name() != "units" {
+			return nil
+		}
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsNumeric == 0 {
+				continue
+			}
+			pass.ExportObjectFact(tn, &UnitFact{Unit: name})
+		}
+		return nil
+	}
+	return a
+}
+
+// UnitCheck returns the dataflow analyzer enforcing the typed-unit
+// regime established by internal/units. Go's nominal typing already
+// rejects direct dBm+dB arithmetic, so the remaining escape hatches
+// are what unitcheck guards:
+//
+//   - cross-unit conversions: units.DB(x) where x is a DBm (the
+//     classic dB-vs-dBm mix-up, and ms-vs-s via Millis→Seconds) —
+//     converting between units needs a physical operation (Sub, Add,
+//     Scale, MillisOf), not a cast;
+//   - unit-stripping conversions: float64(x) (or any non-unit numeric
+//     type) applied to a unit-typed value outside a units package —
+//     the sanctioned exit is the unit's Float/Duration accessor, which
+//     keeps strips greppable and reviewable;
+//   - named untyped constants leaking into unit-typed positions:
+//     `const floor = -125.0` compared against a DBm value compiles via
+//     implicit conversion, silently asserting a unit the declaration
+//     never stated. Declare the constant with its unit type. Literal
+//     constants in place (thresholds written at the call site) are
+//     exempt — their unit is the context's, by construction.
+//
+// decl must be the UnitDecl instance from the same suite; unitcheck
+// imports the facts it exports.
+func UnitCheck(decl *analysis.Analyzer) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "unitcheck",
+		Doc: "flag conversions that mix or strip physical-unit types (DBm, DB, Millis, ...) " +
+			"and named untyped constants leaking into unit-typed positions; units change only " +
+			"through the explicit operations internal/units defines",
+		Requires: []*analysis.Analyzer{decl},
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if pass.Pkg.Name() == "units" {
+			// The units package itself implements the conversions.
+			return nil
+		}
+		reported := map[token.Pos]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkConversion(pass, n)
+				case *ast.Ident:
+					checkConstLeak(pass, n, n, reported)
+				case *ast.SelectorExpr:
+					checkConstLeak(pass, n, n.Sel, reported)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// unitOf resolves the unit name of a type, consulting the unitdecl
+// facts. Returns "" for non-unit types.
+func unitOf(pass *analysis.Pass, typ types.Type) string {
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return ""
+	}
+	var fact UnitFact
+	if pass.ImportObjectFact != nil && pass.ImportObjectFact(named.Obj(), &fact) {
+		return fact.Unit
+	}
+	return ""
+}
+
+// checkConversion flags T(x) when it crosses or strips a unit.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	srcUnit := unitOf(pass, argTV.Type)
+	if srcUnit == "" {
+		return // injections (float64 → unit) are the sanctioned entry
+	}
+	dstUnit := unitOf(pass, dst)
+	if dstUnit == srcUnit {
+		return // no-op conversion, e.g. re-asserting the same unit
+	}
+	if dstUnit != "" {
+		pass.Reportf(call.Pos(),
+			"cross-unit conversion %s → %s has no physical meaning; use the explicit operation the units package defines (Sub, Add, Scale, MillisOf, ...)",
+			srcUnit, dstUnit)
+		return
+	}
+	if basic, ok := dst.Underlying().(*types.Basic); ok && basic.Info()&types.IsNumeric != 0 {
+		pass.Reportf(call.Pos(),
+			"conversion to %s strips the %s unit; call the unit's accessor (Float, Duration, MHz) at the boundary instead",
+			types.TypeString(dst, types.RelativeTo(pass.Pkg)), srcUnit)
+	}
+}
+
+// checkConstLeak flags a use of a named untyped constant in a
+// unit-typed position: the implicit conversion asserts a unit the
+// constant's declaration never stated.
+func checkConstLeak(pass *analysis.Pass, expr ast.Expr, ident *ast.Ident, reported map[token.Pos]bool) {
+	obj, ok := pass.Info.Uses[ident].(*types.Const)
+	if !ok {
+		return
+	}
+	basic, ok := obj.Type().(*types.Basic)
+	if !ok || basic.Info()&types.IsUntyped == 0 {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	unit := unitOf(pass, tv.Type)
+	if unit == "" {
+		return
+	}
+	if reported[ident.Pos()] {
+		return // the qualified and unqualified walks can both land here
+	}
+	reported[ident.Pos()] = true
+	pass.Reportf(expr.Pos(),
+		"untyped constant %s leaks into a %s-typed position; declare it with an explicit unit type so its unit is stated once",
+		obj.Name(), unit)
+}

@@ -1,7 +1,11 @@
 // Package driver runs a loopvet analyzer suite over a module tree:
-// it enumerates packages, loads them through internal/lint/load, runs
-// each analyzer, applies //lint:ignore waivers, and returns findings
-// in a stable order. cmd/loopvet and the negative-case tests share it.
+// it expands the analyzers' Requires closure, enumerates packages,
+// loads the requested packages plus their module-local dependency
+// closure in topological order through internal/lint/load (so facts
+// exported while analyzing a dependency are importable downstream),
+// runs each analyzer, applies //lint:ignore waivers, and returns
+// findings in a stable order. cmd/loopvet and the negative-case tests
+// share it.
 package driver
 
 import (
@@ -31,6 +35,24 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: loopvet/%s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
+// Waiver is one well-formed //lint:ignore loopvet/... comment seen in
+// a requested package, with whether it actually suppressed anything.
+// cmd/loopvet -waivers renders this inventory; a waiver that is not
+// Used for an enabled analyzer is also reported as a stale-waiver
+// Finding, so dead suppressions rot out of the tree.
+type Waiver struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Analyzers are the waived analyzer names (the loopvet/ prefix
+	// stripped).
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	// Used reports whether the waiver suppressed at least one
+	// diagnostic of at least one enabled analyzer in this run.
+	Used bool `json:"used"`
+}
+
 // Options configures one run.
 type Options struct {
 	ModulePath string
@@ -41,22 +63,58 @@ type Options struct {
 	Analyzers []*analysis.Analyzer
 }
 
+// Result is the full outcome of a run: findings plus the waiver
+// inventory of the requested packages.
+type Result struct {
+	Findings []Finding
+	Waivers  []Waiver
+}
+
 // Run executes the suite and returns the surviving findings.
 func Run(opts Options) ([]Finding, error) {
-	paths, err := expand(opts)
+	res, err := RunDetail(opts)
 	if err != nil {
 		return nil, err
 	}
+	return res.Findings, nil
+}
+
+// RunDetail executes the suite and returns findings plus the waiver
+// inventory. Findings are reported only for the requested packages,
+// but the analyzers also run over every module-local dependency first
+// (in topological order, diagnostics discarded) so cross-package facts
+// exist even when a single package is requested.
+func RunDetail(opts Options) (*Result, error) {
+	analyzers, err := analysis.Closure(opts.Analyzers)
+	if err != nil {
+		return nil, err
+	}
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	requested, err := expand(opts)
+	if err != nil {
+		return nil, err
+	}
+	reqSet := map[string]bool{}
+	for _, p := range requested {
+		reqSet[p] = true
+	}
 	loader := load.New(opts.ModulePath, opts.ModuleRoot)
-	var findings []Finding
-	for _, path := range paths {
+	order, err := loader.TopoOrder(requested)
+	if err != nil {
+		return nil, err
+	}
+	facts := analysis.NewFactStore()
+	res := &Result{}
+	for _, path := range order {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		waivers := collectWaivers(loader.Fset, pkg.Files)
 		var diags []analysis.Diagnostic
-		for _, a := range opts.Analyzers {
+		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer: a,
 				Fset:     loader.Fset,
@@ -66,36 +124,65 @@ func Run(opts Options) ([]Finding, error) {
 				Info:     pkg.Info,
 				Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
 			}
+			facts.Bind(pass, a)
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, path, err)
 			}
 		}
+		if !reqSet[path] {
+			// Dependency pass: it ran only to populate the fact store.
+			continue
+		}
+		waivers := collectWaivers(loader.Fset, pkg.Files)
 		for _, d := range diags {
 			pos := loader.Fset.Position(d.Pos)
 			if waivers.covers(d.Analyzer, pos) {
 				continue
 			}
-			rel, err := filepath.Rel(opts.ModuleRoot, pos.Filename)
-			if err != nil {
-				rel = pos.Filename
-			}
-			findings = append(findings, Finding{
+			res.Findings = append(res.Findings, Finding{
 				Analyzer: d.Analyzer,
-				File:     filepath.ToSlash(rel),
+				File:     relTo(opts.ModuleRoot, pos.Filename),
 				Line:     pos.Line,
 				Col:      pos.Column,
 				Message:  d.Message,
 			})
 		}
 		for _, m := range waivers.malformed {
-			if rel, err := filepath.Rel(opts.ModuleRoot, m.File); err == nil {
-				m.File = filepath.ToSlash(rel)
+			m.File = relTo(opts.ModuleRoot, m.File)
+			res.Findings = append(res.Findings, m)
+		}
+		for _, rec := range waivers.recs {
+			w := Waiver{
+				File:      relTo(opts.ModuleRoot, rec.file),
+				Line:      rec.line,
+				Col:       rec.col,
+				Analyzers: rec.names,
+				Reason:    rec.reason,
 			}
-			findings = append(findings, m)
+			for _, name := range rec.names {
+				if rec.used[name] {
+					w.Used = true
+					continue
+				}
+				if !enabled[name] {
+					// Can't judge a waiver for an analyzer that did
+					// not run; leave it alone.
+					continue
+				}
+				res.Findings = append(res.Findings, Finding{
+					Analyzer: "waiver",
+					File:     w.File,
+					Line:     rec.line,
+					Col:      rec.col,
+					Message: fmt.Sprintf(
+						"stale waiver: loopvet/%s reports no diagnostic on this or the next line; delete the //lint:ignore", name),
+				})
+			}
+			res.Waivers = append(res.Waivers, w)
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -107,7 +194,24 @@ func Run(opts Options) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	sort.Slice(res.Waivers, func(i, j int) bool {
+		a, b := res.Waivers[i], res.Waivers[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return res, nil
+}
+
+// relTo rewrites an absolute position filename relative to the module
+// root, with forward slashes, falling back to the input.
+func relTo(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil {
+		return filename
+	}
+	return filepath.ToSlash(rel)
 }
 
 // expand turns the patterns into import paths.
@@ -172,12 +276,23 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// waiverRec is one well-formed //lint:ignore comment, tracking which
+// of its analyzer names actually suppressed a diagnostic.
+type waiverRec struct {
+	file      string
+	line, col int
+	names     []string
+	reason    string
+	used      map[string]bool
+}
+
 // waiverSet indexes //lint:ignore comments by file and line.
 type waiverSet struct {
-	// byLine maps file → line → waived analyzer names. A waiver on
-	// line L suppresses findings on L (trailing comment) and L+1
-	// (comment above the flagged statement).
-	byLine    map[string]map[int]map[string]bool
+	recs []*waiverRec
+	// byLine maps file → covered line → records. A waiver on line L
+	// suppresses findings on L (trailing comment) and L+1 (comment
+	// above the flagged statement).
+	byLine    map[string]map[int][]*waiverRec
 	malformed []Finding
 }
 
@@ -187,7 +302,7 @@ type waiverSet struct {
 //
 // A waiver without a reason is itself a finding — waivers must say why.
 func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
-	ws := &waiverSet{byLine: map[string]map[int]map[string]bool{}}
+	ws := &waiverSet{byLine: map[string]map[int][]*waiverRec{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -218,18 +333,22 @@ func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
 					})
 					continue
 				}
+				rec := &waiverRec{
+					file:   pos.Filename,
+					line:   pos.Line,
+					col:    pos.Column,
+					names:  names,
+					reason: strings.Join(fields[1:], " "),
+					used:   map[string]bool{},
+				}
+				ws.recs = append(ws.recs, rec)
 				m := ws.byLine[pos.Filename]
 				if m == nil {
-					m = map[int]map[string]bool{}
+					m = map[int][]*waiverRec{}
 					ws.byLine[pos.Filename] = m
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if m[line] == nil {
-						m[line] = map[string]bool{}
-					}
-					for _, n := range names {
-						m[line][n] = true
-					}
+					m[line] = append(m[line], rec)
 				}
 			}
 		}
@@ -237,6 +356,17 @@ func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
 	return ws
 }
 
+// covers reports whether a waiver suppresses a diagnostic of the given
+// analyzer at pos, marking the waiver used.
 func (ws *waiverSet) covers(analyzer string, pos token.Position) bool {
-	return ws.byLine[pos.Filename][pos.Line][analyzer]
+	hit := false
+	for _, rec := range ws.byLine[pos.Filename][pos.Line] {
+		for _, n := range rec.names {
+			if n == analyzer {
+				rec.used[analyzer] = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }

@@ -1,0 +1,3 @@
+module rngmod.example
+
+go 1.22

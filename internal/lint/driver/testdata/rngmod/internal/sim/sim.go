@@ -1,0 +1,82 @@
+// Package sim seeds the rngflow sinks — rand-derived values escaping
+// through containers whose ordering the runtime does not define —
+// next to the sanctioned patterns that must stay silent.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// EmitScores feeds a rand-valued map straight into output: the emitted
+// order varies run to run.
+func EmitScores(rng *rand.Rand) {
+	scores := map[int]float64{}
+	for i := 0; i < 8; i++ {
+		scores[i] = rng.Float64()
+	}
+	for id, s := range scores { // want "map scores holds rand-derived values and this range feeds output directly"
+		fmt.Printf("%d %.3f\n", id, s)
+	}
+}
+
+// EmitSorted collects keys, sorts, then emits: the sanctioned pattern,
+// no finding even though the map is tainted.
+func EmitSorted(rng *rand.Rand) {
+	scores := map[int]float64{}
+	for i := 0; i < 8; i++ {
+		scores[i] = rng.Float64()
+	}
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("%d %.3f\n", id, scores[id])
+	}
+}
+
+// Fanout appends worker results in scheduler order: the slice ends up
+// in a different order every run.
+func Fanout(rng *rand.Rand) []float64 {
+	draws := make([]float64, 8)
+	for i := range draws {
+		draws[i] = rng.Float64()
+	}
+	var out []float64
+	var wg sync.WaitGroup
+	for i := 0; i < len(draws); i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			out = append(out, draws[i]) // want "append to out inside a goroutine carries rand-derived values in scheduler order"
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// FanoutIndexed gives each worker its own slot: deterministic merge,
+// no finding.
+func FanoutIndexed(rng *rand.Rand) []float64 {
+	draws := make([]float64, 8)
+	for i := range draws {
+		draws[i] = rng.Float64()
+	}
+	out := make([]float64, len(draws))
+	var wg sync.WaitGroup
+	for i := 0; i < len(draws); i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			out[i] = draws[i] * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}

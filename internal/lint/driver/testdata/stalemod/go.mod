@@ -1,0 +1,3 @@
+module stalemod.example
+
+go 1.22

@@ -1,0 +1,18 @@
+// Package calc carries one live //lint:ignore waiver and one stale
+// one: the fixture behind the stale-waiver contract (a waiver whose
+// analyzer reports nothing on the covered lines is itself a finding,
+// and the inventory marks it unused).
+package calc
+
+// Same compares floats deliberately; its waiver suppresses a real
+// floatcmp finding, so it is used.
+func Same(a, b float64) bool {
+	//lint:ignore loopvet/floatcmp fixture: sentinel comparison, assigned never computed
+	return a == b
+}
+
+// Halve triggers nothing, so the waiver below is stale.
+func Halve(x float64) float64 {
+	//lint:ignore loopvet/floatcmp fixture: nothing here to suppress
+	return x / 2
+}

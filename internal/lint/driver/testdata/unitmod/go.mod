@@ -1,0 +1,3 @@
+module unitmod.example
+
+go 1.22

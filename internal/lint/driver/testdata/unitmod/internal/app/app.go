@@ -1,0 +1,42 @@
+// Package app seeds every unitcheck flagging path from a package that
+// only *imports* the unit types — the findings below exist only if the
+// UnitFacts exported while analyzing internal/units crossed the
+// package boundary.
+package app
+
+import "unitmod.example/internal/units"
+
+// floor is a named untyped constant: using it in a unit-typed position
+// asserts a unit its declaration never stated.
+const floor = -125.0
+
+// Threshold carries its unit in the declaration, so its uses are fine.
+const Threshold units.DBm = -110
+
+// Mixups converts across units instead of using the physical
+// operations: the classic dB-vs-dBm and ms-vs-s mistakes.
+func Mixups(p units.DBm, m units.Millis) (units.DB, units.Seconds) {
+	gap := units.DB(p)    // want "cross-unit conversion DBm → DB has no physical meaning"
+	s := units.Seconds(m) // want "cross-unit conversion Millis → Seconds has no physical meaning"
+	return gap, s
+}
+
+// Strip casts the unit away instead of calling the accessor.
+func Strip(p units.DBm) float64 {
+	return float64(p) // want "conversion to float64 strips the DBm unit"
+}
+
+// Leak compares a unit-typed value against an untyped named constant.
+func Leak(p units.DBm) bool {
+	return p < floor // want "untyped constant floor leaks into a DBm-typed position"
+}
+
+// Clean exercises the sanctioned boundaries: literal thresholds,
+// float64 injection, same-unit reassertion, accessors, and the
+// explicit conversion method. None of these may be flagged.
+func Clean(p units.DBm, m units.Millis, f float64) bool {
+	injected := units.DBm(f)
+	reasserted := units.DBm(p)
+	secs := m.SecondsOf()
+	return p.Float() < -120 && injected < -84.5 && reasserted < Threshold && secs > 1
+}

@@ -1,0 +1,26 @@
+// Package units is a miniature mirror of the repo's internal/units:
+// named numeric types in a package called "units" are what unitdecl
+// exports UnitFacts for. The conversions inside this package are the
+// sanctioned implementations, so unitcheck skips it.
+package units
+
+// DBm is an absolute power level.
+type DBm float64
+
+// Float unwraps the level.
+func (x DBm) Float() float64 { return float64(x) }
+
+// Sub returns the gap between two absolute levels.
+func (x DBm) Sub(y DBm) DB { return DB(float64(x) - float64(y)) }
+
+// DB is a relative level.
+type DB float64
+
+// Millis is a timer period in milliseconds.
+type Millis float64
+
+// SecondsOf converts a period to seconds the explicit way.
+func (m Millis) SecondsOf() Seconds { return Seconds(float64(m) / 1000) }
+
+// Seconds is a timer period in seconds.
+type Seconds float64

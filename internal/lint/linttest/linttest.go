@@ -6,11 +6,15 @@ package linttest
 import (
 	"fmt"
 	"go/ast"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 
 	"github.com/mssn/loopscope/internal/lint/analysis"
+	"github.com/mssn/loopscope/internal/lint/driver"
 	"github.com/mssn/loopscope/internal/lint/load"
 )
 
@@ -160,6 +164,87 @@ func splitQuoted(s string) []string {
 		}
 	}
 	return out
+}
+
+// RunModule runs analyzers through the full driver — Requires closure,
+// topological dependency order, shared fact store, waiver handling —
+// over a testdata module and checks the surviving findings against
+// `// want "regexp"` comments anywhere in the module's sources. This
+// is the harness for cross-package checks (unitcheck's facts flow from
+// the fixture units package into its importers) that the single-package
+// Run cannot exercise.
+func RunModule(t *testing.T, modulePath, moduleRoot string, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	findings, err := driver.Run(driver.Options{
+		ModulePath: modulePath,
+		ModuleRoot: moduleRoot,
+		Patterns:   []string{"./..."},
+		Analyzers:  analyzers,
+	})
+	if err != nil {
+		t.Fatalf("driver on %s: %v", modulePath, err)
+	}
+	wants := collectModuleWants(t, moduleRoot)
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectModuleWants scans every non-test .go file under root for want
+// comments, keyed by module-relative slash path to match the driver's
+// Finding positions.
+func collectModuleWants(t *testing.T, root string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range splitQuoted(m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", rel, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: rel, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
 }
 
 // Fprint is a debugging helper: it renders diagnostics the way

@@ -14,6 +14,7 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -135,6 +136,50 @@ func (l *Loader) Load(path string) (*Package, error) {
 	pkg := &Package{ImportPath: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// TopoOrder loads the given packages plus their module-local
+// dependency closure and returns every loaded import path in
+// dependency-first topological order: a package always appears after
+// everything it imports (directly or transitively) that this loader
+// can resolve from source. Analyzing packages in this order is what
+// lets facts exported while checking a dependency be imported while
+// checking its dependents. The order is deterministic: imports are
+// visited in sorted order from the given roots.
+func (l *Loader) TopoOrder(paths []string) ([]string, error) {
+	var order []string
+	seen := map[string]bool{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		pkg, err := l.Load(path)
+		if err != nil {
+			return err
+		}
+		var deps []string
+		for _, imp := range pkg.Types.Imports() {
+			if l.dirFor(imp.Path()) != "" {
+				deps = append(deps, imp.Path())
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }
 
 // importDep resolves one import encountered while type-checking.

@@ -1,6 +1,10 @@
 package meas
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/mssn/loopscope/internal/units"
+)
 
 // Quantity selects which measurement quantity an event compares,
 // matching the reportConfig triggerQuantity of TS 36.331 / TS 38.331.
@@ -20,12 +24,13 @@ func (q Quantity) String() string {
 	return "RSRP"
 }
 
-// value extracts the configured quantity from a measurement.
-func (q Quantity) value(m Measurement) float64 {
+// level extracts the configured quantity from a measurement as the
+// quantity-polymorphic Level scalar (dBm for RSRP, dB for RSRQ).
+func (q Quantity) level(m Measurement) units.Level {
 	if q == QuantityRSRQ {
-		return m.RSRQDB
+		return m.RSRQDB.Level()
 	}
-	return m.RSRPDBm
+	return m.RSRPDBm.Level()
 }
 
 // EventKind enumerates the measurement-reporting events that appear in
@@ -63,35 +68,36 @@ func (k EventKind) String() string {
 	}
 }
 
-// EventConfig is one configured reporting event. Thresholds are in the
-// unit of the quantity (dBm for RSRP, dB for RSRQ); Offset and
-// Hysteresis are in dB.
+// EventConfig is one configured reporting event. Thresholds are
+// quantity-scaled Levels (dBm when the quantity is RSRP, dB when it is
+// RSRQ, mirroring threshold-RSRP/threshold-RSRQ in TS 36.331 §5.5.4);
+// Offset and Hysteresis are always relative dB.
 type EventConfig struct {
 	Kind       EventKind
 	Quantity   Quantity
-	Threshold  float64 // A2/B1: the threshold; A5: threshold1 (serving)
-	Threshold2 float64 // A5 only: threshold2 (neighbour)
-	Offset     float64 // A3 only: the a3-Offset
-	Hysteresis float64 // entering-condition hysteresis (Hys)
+	Threshold  units.Level // A2/B1: the threshold; A5: threshold1 (serving)
+	Threshold2 units.Level // A5 only: threshold2 (neighbour)
+	Offset     units.DB    // A3 only: the a3-Offset
+	Hysteresis units.DB    // entering-condition hysteresis (Hys)
 }
 
 // A2 builds an A2 config ("serving worse than threshold").
-func A2(q Quantity, threshold float64) EventConfig {
+func A2(q Quantity, threshold units.Level) EventConfig {
 	return EventConfig{Kind: EventA2, Quantity: q, Threshold: threshold}
 }
 
 // A3 builds an A3 config ("neighbour offset better than serving").
-func A3(q Quantity, offset float64) EventConfig {
+func A3(q Quantity, offset units.DB) EventConfig {
 	return EventConfig{Kind: EventA3, Quantity: q, Offset: offset}
 }
 
 // A5 builds an A5 config ("serving < t1 and neighbour > t2").
-func A5(q Quantity, t1, t2 float64) EventConfig {
+func A5(q Quantity, t1, t2 units.Level) EventConfig {
 	return EventConfig{Kind: EventA5, Quantity: q, Threshold: t1, Threshold2: t2}
 }
 
 // B1 builds a B1 config ("inter-RAT neighbour better than threshold").
-func B1(q Quantity, threshold float64) EventConfig {
+func B1(q Quantity, threshold units.Level) EventConfig {
 	return EventConfig{Kind: EventB1, Quantity: q, Threshold: threshold}
 }
 
@@ -100,17 +106,17 @@ func B1(q Quantity, threshold float64) EventConfig {
 // one of the sides ignore that argument (A2 ignores neighbour; B1
 // ignores serving).
 func (e EventConfig) Entered(serving, neighbour Measurement) bool {
-	ms := e.Quantity.value(serving)
-	mn := e.Quantity.value(neighbour)
+	ms := e.Quantity.level(serving)
+	mn := e.Quantity.level(neighbour)
 	switch e.Kind {
 	case EventA2:
-		return ms+e.Hysteresis < e.Threshold
+		return ms.Shift(e.Hysteresis) < e.Threshold
 	case EventA3:
-		return mn-e.Hysteresis > ms+e.Offset
+		return mn.Shift(-e.Hysteresis) > ms.Shift(e.Offset)
 	case EventA5:
-		return ms+e.Hysteresis < e.Threshold && mn-e.Hysteresis > e.Threshold2
+		return ms.Shift(e.Hysteresis) < e.Threshold && mn.Shift(-e.Hysteresis) > e.Threshold2
 	case EventB1:
-		return mn-e.Hysteresis > e.Threshold
+		return mn.Shift(-e.Hysteresis) > e.Threshold
 	default:
 		// Closed enum: an unknown kind never triggers.
 		return false

@@ -11,18 +11,18 @@
 // parser side stay log-only, the way the paper's methodology demands.
 package meas
 
-import "math"
+import "github.com/mssn/loopscope/internal/units"
 
 // MeasurableFloorDBm is the weakest RSRP a UE can still detect and
 // report. Cells below it silently vanish from measurement reports —
 // exactly the S1E1 trigger ("no RSRP/RSRQ measurements of one or more 5G
 // SCells", §5.1).
-const MeasurableFloorDBm = -125.0
+const MeasurableFloorDBm units.DBm = -125.0
 
 // Measurement is one RSRP/RSRQ observation of a cell.
 type Measurement struct {
-	RSRPDBm float64
-	RSRQDB  float64
+	RSRPDBm units.DBm
+	RSRQDB  units.DB
 }
 
 // Measurable reports whether the observation is strong enough for the
@@ -30,17 +30,19 @@ type Measurement struct {
 func (m Measurement) Measurable() bool { return m.RSRPDBm >= MeasurableFloorDBm }
 
 // Epsilon is the default tolerance for comparing RSRP/RSRQ values in
-// dB space. Captured and simulated levels carry sub-0.1 dB noise, so
-// exact float64 equality is never meaningful; 1e-9 dB is far below any
-// physical resolution while still catching genuinely identical values.
-const Epsilon = 1e-9
+// dB space, re-exported from internal/units where the comparison
+// helpers now live.
+const Epsilon = units.Epsilon
 
 // ApproxEqual reports whether two dB-scale values are equal within
 // Epsilon. It is the approved way to compare RSRP/RSRQ floats — direct
-// == / != on them is rejected by loopvet's floatcmp analyzer.
-func ApproxEqual(a, b float64) bool { return ApproxEqualEps(a, b, Epsilon) }
+// == / != on them is rejected by loopvet's floatcmp analyzer. The
+// implementation moved to internal/units so it can compare any unit
+// type; this wrapper keeps the vocabulary package self-contained for
+// its callers.
+func ApproxEqual[T ~float64](a, b T) bool { return units.ApproxEqual(a, b) }
 
 // ApproxEqualEps is ApproxEqual with an explicit tolerance.
-func ApproxEqualEps(a, b, eps float64) bool {
-	return math.Abs(a-b) <= eps
+func ApproxEqualEps[T ~float64](a, b T, eps float64) bool {
+	return units.ApproxEqualEps(a, b, eps)
 }

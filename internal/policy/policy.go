@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/mssn/loopscope/internal/meas"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // Mode is the operator's 5G deployment option.
@@ -46,7 +47,7 @@ type Operator struct {
 
 	// SelectThreshRSRPDBm is the SIB cell-selection threshold (−108 dBm
 	// in the §3 example).
-	SelectThreshRSRPDBm float64
+	SelectThreshRSRPDBm units.DBm
 	// SCellA2 is the serving-SCell release event configuration
 	// ("A2 RSRP < −156 dBm" in the instances — set so low it never
 	// fires, which is itself part of the S1E2 story).
@@ -80,7 +81,8 @@ type Operator struct {
 	// updated measurement configuration a UE needs before it can report
 	// NR cells after losing the SCG. OPV pushes every 30 s, which is
 	// why its N2E2 OFF times cluster at multiples of 30 s (Fig. 19c).
-	SCGRecoveryConfigPeriod time.Duration
+	// Held in the millisecond unit the 3GPP timers are specified in.
+	SCGRecoveryConfigPeriod units.Millis
 
 	// LegacyA2B1, when set, reproduces the uncoordinated A2/B1
 	// thresholds reported by prior work (Zhang et al., F12): NR serving
@@ -96,7 +98,7 @@ type Operator struct {
 	// composes with RSRP ranking). It is what keeps a UE re-anchoring
 	// on the same PCell run after run — the precondition for a
 	// *persistent* loop.
-	AnchorPriorityDB map[int]float64
+	AnchorPriorityDB map[int]units.DB
 
 	// MedianOnMbps / MedianOffMbps anchor the throughput model
 	// (Fig. 11: OPT 186.1, OPA 24.9, OPV 97.5 Mbps when ON; OPT ≈ 0
@@ -122,12 +124,12 @@ func (o *Operator) ProblemChannel() int {
 // A2B1Legacy is the inconsistent threshold pair of the historical
 // A2-B1 loop (Θ_B1 < Θ_A2 opens the oscillation band).
 type A2B1Legacy struct {
-	A2ThreshRSRPDBm float64 // release serving NR below this
-	B1ThreshRSRPDBm float64 // add candidate NR above this
+	A2ThreshRSRPDBm units.DBm // release serving NR below this
+	B1ThreshRSRPDBm units.DBm // add candidate NR above this
 }
 
 // DeadBand reports whether a median RSRP falls in the oscillation band.
-func (l A2B1Legacy) DeadBand(rsrpDBm float64) bool {
+func (l A2B1Legacy) DeadBand(rsrpDBm units.DBm) bool {
 	return rsrpDBm > l.B1ThreshRSRPDBm && rsrpDBm < l.A2ThreshRSRPDBm
 }
 
@@ -154,7 +156,7 @@ func OPT() *Operator {
 		SelectThreshRSRPDBm: -108,
 		SCellA2:             meas.A2(meas.QuantityRSRP, -156),
 		SCellA3:             meas.A3(meas.QuantityRSRP, 6),
-		AnchorPriorityDB: map[int]float64{
+		AnchorPriorityDB: map[int]units.DB{
 			521310: 15, // wide n41 carriers are the preferred anchors
 			501390: 6,
 			126270: 0,
@@ -181,8 +183,8 @@ func OPA() *Operator {
 		BlindRedirect: map[int]int{
 			5815: 5145,
 		},
-		AnchorPriorityDB:        map[int]float64{5815: 8},
-		SCGRecoveryConfigPeriod: time.Second,
+		AnchorPriorityDB:        map[int]units.DB{5815: 8},
+		SCGRecoveryConfigPeriod: units.MillisOf(time.Second),
 		MedianOnMbps:            24.9,
 		MedianOffMbps:           14,
 	}
@@ -202,8 +204,8 @@ func OPV() *Operator {
 		DropSCGOnHandoverTo: map[int]bool{
 			5230: true,
 		},
-		AnchorPriorityDB:        map[int]float64{5230: 4},
-		SCGRecoveryConfigPeriod: 30 * time.Second,
+		AnchorPriorityDB:        map[int]units.DB{5230: 4},
+		SCGRecoveryConfigPeriod: units.MillisOf(30 * time.Second),
 		MedianOnMbps:            97.5,
 		MedianOffMbps:           45,
 	}

@@ -19,6 +19,7 @@ import (
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/geo"
 	"github.com/mssn/loopscope/internal/meas"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // Field is a deterministic radio map: given a cell and a location it
@@ -29,12 +30,12 @@ type Field struct {
 	seed int64
 	// ShadowSigmaDB is the standard deviation of the spatially
 	// correlated shadowing component (log-normal shadowing).
-	ShadowSigmaDB float64
-	// ShadowCorrLenM is the correlation length of shadowing in meters.
-	ShadowCorrLenM float64
+	ShadowSigmaDB units.DB
+	// ShadowCorrLenM is the correlation length of shadowing.
+	ShadowCorrLenM units.Meters
 	// FadeSigmaDB is the standard deviation of the per-sample fast
 	// fading added by Sample.
-	FadeSigmaDB float64
+	FadeSigmaDB units.DB
 }
 
 // NewField returns a Field with the study's default fading parameters.
@@ -50,7 +51,8 @@ func NewField(seed int64) *Field {
 // pathLossDB follows the 3GPP TR 38.901 UMa LOS shape:
 // PL = 28.0 + 22·log10(d₃D) + 20·log10(f_GHz), with a 10 m close-in
 // clamp so co-located UEs do not see unbounded power.
-func pathLossDB(distM, freqMHz float64) float64 {
+func pathLossDB(dist units.Meters, freqMHz float64) units.DB {
+	distM := dist.Float()
 	if distM < 10 {
 		distM = 10
 	}
@@ -58,7 +60,7 @@ func pathLossDB(distM, freqMHz float64) float64 {
 	if fGHz <= 0 {
 		fGHz = 1
 	}
-	return 28.0 + 22*math.Log10(distM) + 20*math.Log10(fGHz)
+	return units.DB(28.0 + 22*math.Log10(distM) + 20*math.Log10(fGHz))
 }
 
 // hash64 mixes integers into a pseudorandom 64-bit value
@@ -93,8 +95,8 @@ func gauss01(h uint64) float64 {
 // so different cells fade independently (even co-channel ones — the
 // crossing RSRP surfaces of cells 273 and 371 on 387410 in Fig. 20 come
 // from exactly this independence).
-func (f *Field) shadowDB(c *cell.Cell, p geo.Point) float64 {
-	l := f.ShadowCorrLenM
+func (f *Field) shadowDB(c *cell.Cell, p geo.Point) units.DB {
+	l := f.ShadowCorrLenM.Float()
 	gx, gy := math.Floor(p.X/l), math.Floor(p.Y/l)
 	fx, fy := p.X/l-gx, p.Y/l-gy
 	key := int64(c.PCI)<<32 ^ int64(c.Channel)
@@ -109,34 +111,35 @@ func (f *Field) shadowDB(c *cell.Cell, p geo.Point) float64 {
 	sx := fx * fx * (3 - 2*fx)
 	sy := fy * fy * (3 - 2*fy)
 	v := v00*(1-sx)*(1-sy) + v10*sx*(1-sy) + v01*(1-sx)*sy + v11*sx*sy
-	return v * f.ShadowSigmaDB
+	return f.ShadowSigmaDB.Scale(v)
 }
 
 // rsrqFromRSRP derives RSRQ from RSRP with the empirical shape seen in
 // the paper's instances: ≈ −10.5 dB under good coverage, degrading
 // roughly half a dB per dB of RSRP below −82 dBm (e.g. the −108.5 dBm
 // S1E2 bad apple reports −25.5 dB in Fig. 28), clamped to [−30, −5].
-func rsrqFromRSRP(rsrp, noiseDBm float64) float64 {
-	q := -10.5 - noiseDBm
+func rsrqFromRSRP(rsrp units.DBm, noise units.DB) units.DB {
+	q := -10.5 - noise.Float()
 	if rsrp < -82 {
-		q -= 0.55 * (-82 - rsrp)
+		q -= 0.55 * (-82 - rsrp.Float())
 	}
-	return math.Max(-30, math.Min(-5, q))
+	return units.DB(math.Max(-30, math.Min(-5, q)))
 }
 
 // Median returns the deterministic local median measurement of c at p:
 // transmit power minus path loss minus shadowing, with the derived RSRQ.
 func (f *Field) Median(c *cell.Cell, p geo.Point) meas.Measurement {
-	rsrp := c.TxPowerDBm - pathLossDB(c.Pos.Dist(p), c.FreqMHz()) + f.shadowDB(c, p)
-	return meas.Measurement{RSRPDBm: rsrp, RSRQDB: rsrqFromRSRP(rsrp, c.NoiseDBm)}
+	loss := pathLossDB(units.Meters(c.Pos.Dist(p)), c.FreqMHz())
+	rsrp := c.TxPowerDBm.Add(-loss).Add(f.shadowDB(c, p))
+	return meas.Measurement{RSRPDBm: rsrp, RSRQDB: rsrqFromRSRP(rsrp, c.NoiseDB)}
 }
 
 // Sample returns one faded observation of c at p. The rng carries the
 // run's temporal randomness; spatial structure stays deterministic.
 func (f *Field) Sample(c *cell.Cell, p geo.Point, rng *rand.Rand) meas.Measurement {
 	m := f.Median(c, p)
-	m.RSRPDBm += rng.NormFloat64() * f.FadeSigmaDB
-	m.RSRQDB = rsrqFromRSRP(m.RSRPDBm, c.NoiseDBm) + rng.NormFloat64()*0.8
-	m.RSRQDB = math.Max(-30, math.Min(-5, m.RSRQDB))
+	m.RSRPDBm = m.RSRPDBm.Add(f.FadeSigmaDB.Scale(rng.NormFloat64()))
+	m.RSRQDB = rsrqFromRSRP(m.RSRPDBm, c.NoiseDB).Add(units.DB(rng.NormFloat64() * 0.8))
+	m.RSRQDB = units.DB(math.Max(-30, math.Min(-5, m.RSRQDB.Float())))
 	return m
 }

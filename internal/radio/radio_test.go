@@ -9,9 +9,10 @@ import (
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/geo"
+	"github.com/mssn/loopscope/internal/units"
 )
 
-func testCell(ref string, pos geo.Point, tx float64) *cell.Cell {
+func testCell(ref string, pos geo.Point, tx units.DBm) *cell.Cell {
 	return &cell.Cell{Ref: cell.MustRef(ref), RAT: band.RATNR, Pos: pos, TxPowerDBm: tx, MIMOLayers: 2}
 }
 
@@ -33,7 +34,7 @@ func TestPathLossDistanceMonotone(t *testing.T) {
 	c := testCell("393@521310", geo.P(0, 0), 45)
 	f := NewField(1)
 	f.ShadowSigmaDB = 0 // isolate the deterministic path-loss trend
-	prev := math.Inf(1)
+	prev := units.DBm(math.Inf(1))
 	for _, d := range []float64{20, 50, 100, 200, 400, 800, 1600} {
 		m := f.Median(c, geo.P(d, 0))
 		if m.RSRPDBm >= prev {
@@ -62,7 +63,7 @@ func TestShadowingSmooth(t *testing.T) {
 		p := geo.P(float64(i)*37.7, float64(i)*13.3)
 		a := f.Median(c, p).RSRPDBm
 		b := f.Median(c, p.Add(1, 0)).RSRPDBm
-		if math.Abs(a-b) > 1.5 {
+		if math.Abs(a.Sub(b).Float()) > 1.5 {
 			t.Errorf("field discontinuity at %v: %.2f vs %.2f", p, a, b)
 		}
 	}
@@ -77,7 +78,7 @@ func TestShadowIndependentPerCell(t *testing.T) {
 	var gaps []float64
 	for i := 0; i < 100; i++ {
 		p := geo.P(float64(i%10)*80, float64(i/10)*80)
-		gaps = append(gaps, f.Median(a, p).RSRPDBm-f.Median(b, p).RSRPDBm)
+		gaps = append(gaps, f.Median(a, p).RSRPDBm.Sub(f.Median(b, p).RSRPDBm).Float())
 	}
 	var mean, ss float64
 	for _, g := range gaps {
@@ -101,9 +102,9 @@ func TestSampleFadesAroundMedian(t *testing.T) {
 	var sum float64
 	n := 2000
 	for i := 0; i < n; i++ {
-		sum += f.Sample(c, p, rng).RSRPDBm
+		sum += f.Sample(c, p, rng).RSRPDBm.Float()
 	}
-	if avg := sum / float64(n); math.Abs(avg-med) > 0.5 {
+	if avg := sum / float64(n); math.Abs(avg-med.Float()) > 0.5 {
 		t.Errorf("sample mean %.2f far from median %.2f", avg, med)
 	}
 }
@@ -111,10 +112,10 @@ func TestSampleFadesAroundMedian(t *testing.T) {
 func TestRSRQShape(t *testing.T) {
 	// Good coverage ⇒ about −10.5 dB; the Fig. 28 bad apple at
 	// −108.5 dBm reports −25.5 dB.
-	if q := rsrqFromRSRP(-80, 0); math.Abs(q+10.5) > 0.01 {
+	if q := rsrqFromRSRP(-80, 0); math.Abs(q.Float()+10.5) > 0.01 {
 		t.Errorf("RSRQ at -80 = %v", q)
 	}
-	if q := rsrqFromRSRP(-108.5, 0); math.Abs(q-(-25.1)) > 1.5 {
+	if q := rsrqFromRSRP(-108.5, 0); math.Abs(q.Float()-(-25.1)) > 1.5 {
 		t.Errorf("RSRQ at -108.5 = %v, want about -25", q)
 	}
 	if q := rsrqFromRSRP(-150, 0); q != -30 {
@@ -132,7 +133,7 @@ func TestRSRQMonotone(t *testing.T) {
 			return true
 		}
 		lo, hi := math.Min(a, b), math.Max(a, b)
-		return rsrqFromRSRP(lo, 0) <= rsrqFromRSRP(hi, 0)
+		return rsrqFromRSRP(units.DBm(lo), 0) <= rsrqFromRSRP(units.DBm(hi), 0)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

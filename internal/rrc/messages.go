@@ -19,6 +19,7 @@ import (
 	"github.com/mssn/loopscope/internal/band"
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/meas"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // Message is one RRC (or modem-status) message in a signaling capture.
@@ -49,7 +50,7 @@ func (m MIB) RAT() band.RAT { return m.Rat }
 type SIB1 struct {
 	Rat           band.RAT
 	Cell          cell.Ref
-	ThreshRSRPDBm float64
+	ThreshRSRPDBm units.DBm
 }
 
 // Kind implements Message.

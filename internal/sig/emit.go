@@ -182,7 +182,7 @@ func appendDetails(b []byte, m rrc.Message) []byte {
 	case rrc.SIB1:
 		b = appendNRCellLine(b, v.Cell, v.Rat, false)
 		b = append(b, "  selectionThreshRSRP = "...)
-		b = appendFloat1(b, v.ThreshRSRPDBm)
+		b = appendFloat1(b, v.ThreshRSRPDBm.Float())
 		return append(b, '\n')
 	case rrc.SetupRequest:
 		return appendNRCellLine(b, v.Cell, v.Rat, true)
@@ -199,9 +199,9 @@ func appendDetails(b []byte, m rrc.Message) []byte {
 			b = append(b, ", role "...)
 			b = append(b, e.Role...)
 			b = append(b, ", rsrp "...)
-			b = appendFloat1(b, e.Meas.RSRPDBm)
+			b = appendFloat1(b, e.Meas.RSRPDBm.Float())
 			b = append(b, ", rsrq "...)
-			b = appendFloat1(b, e.Meas.RSRQDB)
+			b = appendFloat1(b, e.Meas.RSRQDB.Float())
 			b = append(b, "}\n"...)
 		}
 		return b

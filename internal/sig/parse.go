@@ -14,6 +14,7 @@ import (
 	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // ParseError reports a malformed log line with its position.
@@ -341,7 +342,7 @@ func buildMessage(e *rawEvent) (rrc.Message, error) {
 				if err != nil {
 					return nil, fmt.Errorf("bad selectionThreshRSRP: %v", err)
 				}
-				m.ThreshRSRPDBm = f
+				m.ThreshRSRPDBm = units.DBm(f)
 			}
 		}
 		return m, nil
@@ -509,9 +510,13 @@ func buildMeasReport(e *rawEvent) (rrc.Message, error) {
 			case "role":
 				entry.Role = rrc.MeasRole(val)
 			case "rsrp":
-				entry.Meas.RSRPDBm, err = strconv.ParseFloat(val, 64)
+				var f float64
+				f, err = strconv.ParseFloat(val, 64)
+				entry.Meas.RSRPDBm = units.DBm(f)
 			case "rsrq":
-				entry.Meas.RSRQDB, err = strconv.ParseFloat(val, 64)
+				var f float64
+				f, err = strconv.ParseFloat(val, 64)
+				entry.Meas.RSRQDB = units.DB(f)
 			default:
 				err = fmt.Errorf("unknown measResult field %q", key)
 			}
@@ -580,7 +585,7 @@ func ParseEventConfig(s string) (meas.EventConfig, error) {
 		if err != nil {
 			return meas.EventConfig{}, err
 		}
-		return meas.A2(q, v), nil
+		return meas.A2(q, units.Level(v)), nil
 	case "A3":
 		if len(fields) != 5 || fields[2] != "offset" || fields[3] != ">" {
 			return meas.EventConfig{}, fmt.Errorf("sig: bad A3 config %q", s)
@@ -589,7 +594,7 @@ func ParseEventConfig(s string) (meas.EventConfig, error) {
 		if err != nil {
 			return meas.EventConfig{}, err
 		}
-		return meas.A3(q, v), nil
+		return meas.A3(q, units.DB(v)), nil
 	case "A5":
 		if len(fields) != 7 || fields[2] != "<" || fields[4] != "and" || fields[5] != ">" {
 			return meas.EventConfig{}, fmt.Errorf("sig: bad A5 config %q", s)
@@ -602,7 +607,7 @@ func ParseEventConfig(s string) (meas.EventConfig, error) {
 		if err != nil {
 			return meas.EventConfig{}, err
 		}
-		return meas.A5(q, t1, t2), nil
+		return meas.A5(q, units.Level(t1), units.Level(t2)), nil
 	case "B1":
 		if len(fields) != 4 || fields[2] != ">" {
 			return meas.EventConfig{}, fmt.Errorf("sig: bad B1 config %q", s)
@@ -611,7 +616,7 @@ func ParseEventConfig(s string) (meas.EventConfig, error) {
 		if err != nil {
 			return meas.EventConfig{}, err
 		}
-		return meas.B1(q, v), nil
+		return meas.B1(q, units.Level(v)), nil
 	default:
 		return meas.EventConfig{}, fmt.Errorf("sig: unknown event kind in %q", s)
 	}

@@ -13,6 +13,7 @@ import (
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 func ref(s string) cell.Ref { return cell.MustRef(s) }
@@ -279,8 +280,8 @@ func TestRoundTripProperty(t *testing.T) {
 					// values on that grid so equality is exact.
 					{Cell: randRef(), Role: rrc.RoleSCell,
 						Meas: meas.Measurement{
-							RSRPDBm: -80 - float64(rng.Intn(500))/10,
-							RSRQDB:  -10 - float64(rng.Intn(150))/10,
+							RSRPDBm: units.DBm(-80 - float64(rng.Intn(500))/10),
+							RSRQDB:  units.DB(-10 - float64(rng.Intn(150))/10),
 						}},
 				}})
 			case 4:

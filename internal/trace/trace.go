@@ -14,6 +14,7 @@ import (
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // ReleaseKind distinguishes how a transition happened, the primary
@@ -97,7 +98,7 @@ type Evidence struct {
 	// +Inf sentinel (0 dBm sits inside the valid RSRP domain and is
 	// indistinguishable from a real — if implausible — report); use
 	// HasSCellReport before reading it as a dBm value.
-	WorstSCellRSRP float64
+	WorstSCellRSRP units.DBm
 	// HandoverFrom/To record PCell changes.
 	HandoverFrom, HandoverTo cell.Ref
 	// Reports counts measurement reports seen in the ended ON period.
@@ -109,12 +110,12 @@ type Evidence struct {
 // WorstSCellRSRP carries a real dBm value rather than the +Inf
 // no-report sentinel. Evidence produced by this package always uses
 // the sentinel convention.
-func (e Evidence) HasSCellReport() bool { return !math.IsInf(e.WorstSCellRSRP, 1) }
+func (e Evidence) HasSCellReport() bool { return !math.IsInf(e.WorstSCellRSRP.Float(), 1) }
 
 // newEvidence returns an Evidence of the given kind with the
 // WorstSCellRSRP sentinel in place.
 func newEvidence(kind ReleaseKind) Evidence {
-	return Evidence{Kind: kind, WorstSCellRSRP: math.Inf(1)}
+	return Evidence{Kind: kind, WorstSCellRSRP: units.DBm(math.Inf(1))}
 }
 
 // Step is one entry of the CS timeline: the set in force from At until
@@ -223,7 +224,7 @@ func (t *Timeline) Occupy() Occupancy {
 
 // PoorRSRQThresholdDB marks a reported SCell as a "bad apple": the S1E2
 // instances report RSRQ around −25 dB for the poor SCell.
-const PoorRSRQThresholdDB = -23.0
+const PoorRSRQThresholdDB units.DB = -23.0
 
 // extractor is the folding state machine.
 type extractor struct {

@@ -174,7 +174,7 @@ func TestWorstSCellRSRPNoReportSentinel(t *testing.T) {
 	l.Append(at(5000), rrc.Release{Rat: band.RATNR})
 	tl := Extract(l)
 	ev := tl.Steps[len(tl.Steps)-1].Evidence
-	if !math.IsInf(ev.WorstSCellRSRP, 1) {
+	if !math.IsInf(ev.WorstSCellRSRP.Float(), 1) {
 		t.Errorf("WorstSCellRSRP = %v, want +Inf sentinel when no report was seen", ev.WorstSCellRSRP)
 	}
 	if ev.HasSCellReport() {
@@ -183,7 +183,7 @@ func TestWorstSCellRSRPNoReportSentinel(t *testing.T) {
 	// Every step of the timeline honors the sentinel convention: the
 	// zero value 0 dBm never appears as a phantom reading.
 	for i, s := range tl.Steps {
-		if !s.Evidence.HasSCellReport() && !math.IsInf(s.Evidence.WorstSCellRSRP, 1) {
+		if !s.Evidence.HasSCellReport() && !math.IsInf(s.Evidence.WorstSCellRSRP.Float(), 1) {
 			t.Errorf("step %d: report-free evidence carries RSRP %v", i, s.Evidence.WorstSCellRSRP)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // nsaEngine simulates 5G NSA (OPA/OPV): a 4G master connection with an
@@ -96,7 +97,7 @@ func (n *nsaEngine) nrCells() []*cell.Cell {
 func (n *nsaEngine) strongestLTE(exclude ...*cell.Cell) (*cell.Cell, meas.Measurement) {
 	var best *cell.Cell
 	var bestM meas.Measurement
-	var bestScore float64
+	var bestScore units.DBm
 outer:
 	for _, c := range n.lteCells() {
 		for _, x := range exclude {
@@ -108,7 +109,7 @@ outer:
 		if !m.Measurable() {
 			continue
 		}
-		score := m.RSRPDBm + n.cfg.Op.AnchorPriorityDB[c.Channel]
+		score := m.RSRPDBm.Add(n.cfg.Op.AnchorPriorityDB[c.Channel])
 		if best == nil || score > bestScore {
 			best, bestM, bestScore = c, m, score
 		}
@@ -278,7 +279,7 @@ func (n *nsaEngine) reportAndDecide() {
 	if n.psCell == nil && n.pcellAllows5G() && n.now >= n.scgReadyAt && !n.needConfig {
 		anchorCh := n.cfg.Op.NRChannels[0]
 		var best *cell.Cell
-		var bestMedian float64
+		var bestMedian units.DBm
 		for _, c := range n.nrCells() {
 			if c.Channel != anchorCh {
 				continue
@@ -366,7 +367,7 @@ func (n *nsaEngine) samePCICell(ch int) *cell.Cell {
 // cellOnChannel returns the strongest-by-median LTE cell on a channel.
 func (n *nsaEngine) cellOnChannel(ch int) *cell.Cell {
 	var best *cell.Cell
-	var bestRSRP float64
+	var bestRSRP units.DBm
 	for _, c := range n.lteCells() {
 		if c.Channel != ch {
 			continue
@@ -456,7 +457,7 @@ func (n *nsaEngine) changeSCG(target *cell.Cell) {
 	n.emit(rrc.ReconfigComplete{Rat: band.RATLTE})
 	mOld := n.sample(n.psCell)
 	mNew := n.sample(target)
-	if mNew.RSRPDBm > mOld.RSRPDBm+n.cfg.Op.PSCellA3.Offset && mNew.RSRPDBm > scgExecFloor {
+	if mNew.RSRPDBm > mOld.RSRPDBm.Add(n.cfg.Op.PSCellA3.Offset) && mNew.RSRPDBm > scgExecFloor {
 		n.psCell, n.scgSCell = target, nil
 		return
 	}
@@ -480,7 +481,7 @@ func (n *nsaEngine) changeSCG(target *cell.Cell) {
 // periodic configuration and often miss the first ones, producing the
 // 30/60/90 s OFF times of Fig. 19c (66% above 30 s in the paper).
 func (n *nsaEngine) scgRecoveryWait() time.Duration {
-	period := n.cfg.Op.SCGRecoveryConfigPeriod
+	period := n.cfg.Op.SCGRecoveryConfigPeriod.Duration()
 	if period <= time.Second {
 		return n.jitterDur(1200*time.Millisecond, 800*time.Millisecond)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/mssn/loopscope/internal/cell"
 	"github.com/mssn/loopscope/internal/meas"
 	"github.com/mssn/loopscope/internal/rrc"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // saEngine simulates 5G SA (OPT): NR PCell anchoring, network-configured
@@ -142,18 +143,18 @@ func (s *saEngine) establish() {
 func (s *saEngine) selectCell() (*cell.Cell, meas.Measurement) {
 	var best *cell.Cell
 	var bestM meas.Measurement
-	var bestScore float64
+	var bestScore units.DBm
 	for _, c := range s.anchorCandidates() {
 		m := s.sample(c)
 		if m.RSRPDBm < s.cfg.Op.SelectThreshRSRPDBm {
 			continue
 		}
-		score := m.RSRPDBm + s.cfg.Op.AnchorPriorityDB[c.Channel]
+		score := m.RSRPDBm.Add(s.cfg.Op.AnchorPriorityDB[c.Channel])
 		// Camping stickiness: the UE strongly prefers re-selecting the
 		// cell it last camped on (stored-information cell selection),
 		// which is what makes the loop re-anchor identically.
 		if !s.cfg.NoCampingStickiness && s.lastPCell != nil && c.Ref == s.lastPCell.Ref {
-			score += campingStickyDB
+			score = score.Add(campingStickyDB)
 		}
 		if best == nil || score > bestScore {
 			best, bestM, bestScore = c, m, score
@@ -163,7 +164,7 @@ func (s *saEngine) selectCell() (*cell.Cell, meas.Measurement) {
 }
 
 // campingStickyDB is the re-selection bonus of the last camped cell.
-const campingStickyDB = 8.0
+const campingStickyDB units.DB = 8.0
 
 // partnerSCells returns the network-configured SCell partner list for a
 // PCell, filtered by device capability. The configuration is
@@ -187,7 +188,7 @@ func (s *saEngine) partnerSCells() []*cell.Cell {
 	case "n71":
 		// The n71 anchor pairs with the strongest n41 cell only.
 		var best *cell.Cell
-		var bestRSRP float64
+		var bestRSRP units.DBm
 		for _, c := range s.cfg.Cluster.Cells {
 			if c.RAT != band.RATNR || c.Band() != "n41" {
 				continue
@@ -432,7 +433,7 @@ func (s *saEngine) modifySCell(old, new_ *cell.Cell) bool {
 	mNew := s.sample(new_)
 	ok := mNew.RSRPDBm > modExecFloor
 	if new_.Channel == fragileChannel {
-		ok = ok && mNew.RSRPDBm > mOld.RSRPDBm+fragileMarginDB
+		ok = ok && mNew.RSRPDBm > mOld.RSRPDBm.Add(fragileMarginDB)
 	}
 	if ok {
 		delete(s.indexOf, old.Ref)

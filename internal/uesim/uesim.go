@@ -27,6 +27,7 @@ import (
 	"github.com/mssn/loopscope/internal/radio"
 	"github.com/mssn/loopscope/internal/rrc"
 	"github.com/mssn/loopscope/internal/sig"
+	"github.com/mssn/loopscope/internal/units"
 )
 
 // Tunable procedure timings, chosen to match the instance timelines in
@@ -34,22 +35,22 @@ import (
 // ≈ 10–11 s of IDLE after the SCell-modification exception, 1 Hz
 // measurement reporting).
 const (
-	tick            = 100 * time.Millisecond
-	reportPeriod    = time.Second
-	scellAddDelay   = 3 * time.Second
-	exceptionIdle   = 10500 * time.Millisecond
-	releaseIdle     = 9500 * time.Millisecond
-	selectDelay     = 600 * time.Millisecond
-	missingReports  = 8      // reports without an SCell before release (S1E1)
-	poorReports     = 12     // consecutive poor reports before release (S1E2)
-	rlfThreshRSRP   = -120.0 // PCell sample below this counts toward RLF
-	rlfConsecutive  = 3      // seconds of bad samples before RLF
-	hoFailRSRP      = -123.0 // handover execution fails below this sample
-	modExecFloor    = -105.0 // SCell/PSCell activation floor
-	scgExecFloor    = -118.0
-	fragileChannel  = 387410 // OPT's problematic n25 channel (F14)
-	fragileMarginDB = 6.0    // advantage that must persist on the fragile channel
-	robustMarginDB  = -10.0  // effectively always succeeds elsewhere
+	tick                      = 100 * time.Millisecond
+	reportPeriod              = time.Second
+	scellAddDelay             = 3 * time.Second
+	exceptionIdle             = 10500 * time.Millisecond
+	releaseIdle               = 9500 * time.Millisecond
+	selectDelay               = 600 * time.Millisecond
+	missingReports            = 8      // reports without an SCell before release (S1E1)
+	poorReports               = 12     // consecutive poor reports before release (S1E2)
+	rlfThreshRSRP   units.DBm = -120.0 // PCell sample below this counts toward RLF
+	rlfConsecutive            = 3      // seconds of bad samples before RLF
+	hoFailRSRP      units.DBm = -123.0 // handover execution fails below this sample
+	modExecFloor    units.DBm = -105.0 // SCell/PSCell activation floor
+	scgExecFloor    units.DBm = -118.0
+	fragileChannel            = 387410 // OPT's problematic n25 channel (F14)
+	fragileMarginDB units.DB  = 6.0    // advantage that must persist on the fragile channel
+	robustMarginDB  units.DB  = -10.0  // effectively always succeeds elsewhere
 )
 
 // Config describes one run.

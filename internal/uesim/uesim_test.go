@@ -35,7 +35,7 @@ func findCluster(t *testing.T, op *policy.Operator, areaID string, arch deploy.A
 			}
 			gap := 0.0
 			if pair := cl.CellsOnChannel(387410); len(pair) == 2 {
-				gap = d.Field.Median(pair[0], cl.Loc).RSRPDBm - d.Field.Median(pair[1], cl.Loc).RSRPDBm
+				gap = d.Field.Median(pair[0], cl.Loc).RSRPDBm.Sub(d.Field.Median(pair[1], cl.Loc).RSRPDBm).Float()
 				if gap < 0 {
 					gap = -gap
 				}
