@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 # Pipeline benchmarks recorded by bench-baseline into BENCH_pipeline.json.
 PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|StringCorruptParse|StreamCorruptParse)$$
 
-.PHONY: all build lint loopvet staticcheck vulncheck test fuzz bench bench-baseline bench-compare clean
+.PHONY: all build lint loopvet staticcheck vulncheck test crash-resume fuzz bench bench-baseline bench-compare clean
 
 all: build lint test
 
@@ -40,6 +40,13 @@ vulncheck:
 
 test:
 	$(GO) test -race ./...
+
+# crash-resume runs the resilience suite: checkpoint journal salvage,
+# the every-interruption-point resume property, and the cmd/campaign
+# SIGTERM kill-and-resume e2e against the pinned goldens.
+crash-resume:
+	$(GO) test -race ./internal/checkpoint ./internal/campaign/crashtest
+	$(GO) test -race -run 'TestCheckpointedRunMatchesGolden|TestSinkStreamsDecodableRecords|TestSIGTERMKillAndResume' ./cmd/campaign
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/sig

@@ -4,28 +4,42 @@
 // Usage:
 //
 //	campaign [-exp id|all] [-seed N] [-scale F] [-duration D] [-list]
+//	         [-checkpoint journal] [-resume] [-sink out.jsonl] [-workers N]
 //	         [-metrics out.json] [-debug-addr host:port]
 //
 // With -exp all (the default) every experiment runs in the paper's
-// presentation order, sharing one study dataset. -metrics writes an
-// observability snapshot (stage spans, run/retry/salvage counters) as
-// stable JSON after the run; -debug-addr serves pprof, expvar and the
-// live snapshot while the study executes.
+// presentation order, sharing one study dataset. -checkpoint journals
+// every completed run into a durable file; after a crash or a SIGTERM
+// (exit code 3) the same invocation plus -resume replays the journal
+// and continues, producing output byte-identical to an uninterrupted
+// run (see docs/RESILIENCE.md). -sink streams each run record as JSON
+// lines while the study executes. -metrics writes an observability
+// snapshot (stage spans, run/retry/salvage counters) as stable JSON
+// after the run; -debug-addr serves pprof, expvar and the live
+// snapshot while the study executes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"github.com/mssn/loopscope"
 	"github.com/mssn/loopscope/internal/obs"
 	"github.com/mssn/loopscope/internal/report"
 )
+
+// exitInterrupted is the exit code of a run stopped by SIGINT/SIGTERM;
+// with -checkpoint the journal permits continuation via -resume.
+const exitInterrupted = 3
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -43,6 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		export   = fs.String("export", "", "directory to export the dataset as CSV (runs/loops/locations)")
 		reportTo = fs.String("report", "", "write a full markdown report to this file")
+		ckpt     = fs.String("checkpoint", "", "journal every completed run into this file (crash-recoverable; see -resume)")
+		resume   = fs.Bool("resume", false, "replay the -checkpoint journal, skipping runs it already holds")
+		sink     = fs.String("sink", "", "stream every run record to this file as JSON lines while the study executes")
+		workers  = fs.Int("workers", 0, "study worker pool size (0 = one per CPU; output is identical at any count)")
 		metrics  = fs.String("metrics", "", "write a metrics snapshot (stable JSON) to this file after the run")
 		debug    = fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address while the study runs")
 	)
@@ -62,8 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(stderr, "campaign: -resume requires -checkpoint (the journal to replay)")
+		return 2
+	}
 
-	opts := loopscope.StudyOptions{Seed: *seed, RunScale: *scale, Duration: *duration}
+	opts := loopscope.StudyOptions{Seed: *seed, RunScale: *scale, Duration: *duration,
+		Workers: *workers, Checkpoint: *ckpt, Resume: *resume}
 	var reg *obs.Registry
 	if *metrics != "" || *debug != "" {
 		reg = obs.NewRegistry()
@@ -75,10 +98,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "campaign:", err)
 			return 1
 		}
-		defer stop()
+		defer func() {
+			// stop drains in-flight scrapes for obs.DefaultDrainTimeout,
+			// then cuts stragglers loose and reports the overrun.
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "campaign: debug server:", err)
+			}
+		}()
 		fmt.Fprintln(stderr, "campaign: debug server on http://"+bound)
 	}
-	code := execute(stdout, stderr, ids, opts, *exp, *export, *reportTo)
+
+	if *reportTo != "" {
+		if *ckpt != "" || *sink != "" {
+			fmt.Fprintln(stderr, "campaign: -report does not compose with -checkpoint/-sink")
+			return 2
+		}
+		return writeReport(stdout, stderr, opts, *exp, *reportTo)
+	}
+	if *exp != "all" && *export == "" {
+		if _, ok := ids[*exp]; !ok {
+			fmt.Fprintf(stderr, "campaign: unknown experiment %q (try -list)\n", *exp)
+			return 2
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the study context: dispatch stops, in-flight
+	// runs abort between events, and completed work stays journaled.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	st, code := buildStudy(ctx, stderr, opts, *sink, *ckpt)
+	if code != 0 {
+		return code
+	}
+	code = render(stdout, stderr, ids, st, *exp, *export)
 	if code == 0 && *metrics != "" {
 		if err := writeMetrics(*metrics, reg); err != nil {
 			fmt.Fprintln(stderr, "campaign:", err)
@@ -87,6 +140,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "campaign: wrote metrics snapshot to", *metrics)
 	}
 	return code
+}
+
+// buildStudy executes (or resumes) the study under ctx, wiring the
+// optional JSONL record sink, and maps engine errors to exit codes.
+func buildStudy(ctx context.Context, stderr io.Writer, opts loopscope.StudyOptions,
+	sinkPath, ckpt string) (*loopscope.Study, int) {
+
+	closeSink := func() error { return nil }
+	if sinkPath != "" {
+		f, err := os.Create(sinkPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return nil, 1
+		}
+		opts.Sink = loopscope.NewJSONLStudySink(f)
+		closeSink = f.Close
+	}
+	var st *loopscope.Study
+	var err error
+	if opts.Resume {
+		var sal *loopscope.CheckpointSalvage
+		st, sal, err = loopscope.ResumeStudy(ctx, opts, ckpt)
+		if sal != nil && !sal.Clean() {
+			fmt.Fprintln(stderr, "campaign: checkpoint journal salvaged:", sal.Summary())
+		}
+	} else {
+		st, err = loopscope.RunStudyContext(ctx, opts)
+	}
+	if cerr := closeSink(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(stderr, "campaign: interrupted:", err)
+			if ckpt != "" {
+				fmt.Fprintln(stderr, "campaign: completed runs are journaled in", ckpt,
+					"— re-run with -resume to continue")
+			}
+			return nil, exitInterrupted
+		}
+		fmt.Fprintln(stderr, "campaign:", err)
+		return nil, 1
+	}
+	return st, 0
+}
+
+// render produces the selected output (CSV export, one experiment, or
+// all) from the materialized study.
+func render(stdout, stderr io.Writer, ids map[string]string, st *loopscope.Study, exp, export string) int {
+	if export != "" {
+		if err := exportDataset(stdout, export, st); err != nil {
+			fmt.Fprintln(stderr, "campaign:", err)
+			return 1
+		}
+		return 0
+	}
+	var sel []string
+	if exp != "all" {
+		sel = []string{exp}
+	}
+	for _, res := range loopscope.ExperimentsWithStudy(sel, st) {
+		printExperiment(stdout, res.ID, res.Title, res.Lines)
+	}
+	return 0
+}
+
+// writeReport renders the full markdown report (its study runs
+// uncheckpointed; see the flag guard in run).
+func writeReport(stdout, stderr io.Writer, opts loopscope.StudyOptions, exp, path string) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	ropts := report.Options{Campaign: opts}
+	if exp != "all" {
+		ropts.IDs = []string{exp}
+	}
+	if err := report.Write(f, ropts); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "campaign:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "wrote", path)
+	return 0
 }
 
 // writeMetrics dumps the registry snapshot to path.
@@ -102,58 +244,6 @@ func writeMetrics(path string, reg *obs.Registry) error {
 	return f.Close()
 }
 
-// execute runs the selected mode (export, report, one experiment, or
-// all); the metrics snapshot is written by the caller afterwards.
-func execute(stdout, stderr io.Writer, ids map[string]string,
-	opts loopscope.StudyOptions, exp, export, reportTo string) int {
-
-	if export != "" {
-		if err := exportDataset(stdout, export, opts); err != nil {
-			fmt.Fprintln(stderr, "campaign:", err)
-			return 1
-		}
-		return 0
-	}
-
-	if reportTo != "" {
-		f, err := os.Create(reportTo)
-		if err != nil {
-			fmt.Fprintln(stderr, "campaign:", err)
-			return 1
-		}
-		ropts := report.Options{Campaign: opts}
-		if exp != "all" {
-			ropts.IDs = []string{exp}
-		}
-		if err := report.Write(f, ropts); err != nil {
-			f.Close()
-			fmt.Fprintln(stderr, "campaign:", err)
-			return 1
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(stderr, "campaign:", err)
-			return 1
-		}
-		fmt.Fprintln(stdout, "wrote", reportTo)
-		return 0
-	}
-
-	if exp != "all" {
-		lines, _, ok := loopscope.Experiment(exp, opts)
-		if !ok {
-			fmt.Fprintf(stderr, "campaign: unknown experiment %q (try -list)\n", exp)
-			return 2
-		}
-		printExperiment(stdout, exp, ids[exp], lines)
-		return 0
-	}
-	// The batch API shares one study dataset across all experiments.
-	for _, res := range loopscope.Experiments(nil, opts) {
-		printExperiment(stdout, res.ID, res.Title, res.Lines)
-	}
-	return 0
-}
-
 // printExperiment renders one experiment's banner and result lines.
 func printExperiment(w io.Writer, id, title string, lines []string) {
 	fmt.Fprintf(w, "==================== %s — %s\n", id, title)
@@ -163,12 +253,11 @@ func printExperiment(w io.Writer, id, title string, lines []string) {
 	fmt.Fprintln(w)
 }
 
-// exportDataset runs the study and writes the CSV tables.
-func exportDataset(stdout io.Writer, dir string, opts loopscope.StudyOptions) error {
+// exportDataset writes the study's CSV tables.
+func exportDataset(stdout io.Writer, dir string, st *loopscope.Study) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	st := loopscope.RunStudy(opts)
 	for _, f := range []struct {
 		name  string
 		write func(*os.File) error

@@ -89,7 +89,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "loopctl:", err)
 			return 1
 		}
-		defer stop()
+		defer func() {
+			// stop drains in-flight scrapes for obs.DefaultDrainTimeout,
+			// then cuts stragglers loose and reports the overrun.
+			if err := stop(); err != nil {
+				fmt.Fprintln(stderr, "loopctl: debug server:", err)
+			}
+		}()
 		fmt.Fprintln(stderr, "loopctl: debug server on http://"+bound)
 	}
 	var err error

@@ -7,12 +7,12 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"runtime/debug"
-	"sync"
 	"time"
 
 	"github.com/mssn/loopscope/internal/core"
@@ -64,6 +64,36 @@ type Options struct {
 	// Workers bounds the RunArea worker pool; 0 means one worker per
 	// CPU. Record order and content are identical at any worker count.
 	Workers int
+	// RunTimeout, when positive, bounds each run attempt's wall-clock
+	// time: an attempt that exceeds it aborts between events and
+	// produces a FailDeadline record (final — deadlines are not
+	// retried). Whether a given run hits the deadline depends on the
+	// machine, so studies that must stay byte-deterministic leave it
+	// zero.
+	RunTimeout time.Duration
+	// RetryBackoff, when positive, is the base delay slept before each
+	// panic retry, doubling per attempt (backoff, 2·backoff, ...). The
+	// sleep is context-aware: cancellation interrupts it.
+	RetryBackoff time.Duration
+	// Checkpoint, when non-empty, is the path of the durable run
+	// journal (see internal/checkpoint and docs/RESILIENCE.md): every
+	// completed run appends one checksummed entry keyed by its
+	// deterministic identity, and a later RunContext with Resume set
+	// replays the journal to skip finished runs.
+	Checkpoint string
+	// Resume permits RunContext to replay an existing non-empty
+	// journal at Checkpoint. Without it a pre-populated journal is an
+	// error, so two studies cannot silently interleave into one file.
+	Resume bool
+	// Sink, when non-nil, additionally receives every completed record
+	// in deterministic order as the study executes (see Sink).
+	Sink Sink
+	// CrashAfter, when positive, kills the engine deterministically
+	// right after the N-th checkpoint append: the journal keeps
+	// exactly N entries, in-flight runs are cancelled, and RunContext
+	// returns ErrInjectedCrash. This is the crashtest harness's fault
+	// point; production runs leave it zero.
+	CrashAfter int
 	// Metrics, when non-nil, receives stage spans and run counters
 	// (runs, retries, panics, salvaged runs — in total and per
 	// operator/area). Pure observation: records, goldens and experiment
@@ -113,13 +143,52 @@ type Record struct {
 	// Salvage reports what lenient parsing recovered when the run's
 	// capture went through fault injection (nil otherwise).
 	Salvage *sig.Salvage
-	// Err and Stack describe a run that panicked instead of completing;
-	// such a failure record keeps the study alive and countable.
+	// Err and Stack describe a run that failed instead of completing;
+	// such a failure record keeps the study alive and countable. Stack
+	// is only set for panics.
 	Err   string
 	Stack string
+	// FailKind classifies the failure carried by Err (panic, deadline
+	// or cancellation); FailNone for successful runs.
+	FailKind FailureKind
 	// Attempts is how many executions this record took (1 for a clean
 	// first run; retries increment it).
 	Attempts int
+}
+
+// FailureKind is the closed taxonomy of run failures. Only panics are
+// retried; a deadline is a final outcome (the run is deterministic, so
+// retrying would burn the same wall-clock again), and a cancelled run
+// belongs to a study that is shutting down.
+type FailureKind uint8
+
+const (
+	// FailNone marks a successful run.
+	FailNone FailureKind = iota
+	// FailPanic marks a run that panicked; Stack holds the trace.
+	FailPanic
+	// FailDeadline marks a run that exceeded Options.RunTimeout.
+	FailDeadline
+	// FailCancelled marks a run aborted by study cancellation; such
+	// records are never checkpointed or delivered to sinks, so a
+	// resumed study re-executes them.
+	FailCancelled
+)
+
+// String names the failure kind for counters and reports.
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return "none"
+	case FailPanic:
+		return "panic"
+	case FailDeadline:
+		return "deadline"
+	case FailCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", uint8(k))
+	}
 }
 
 // HasLoop reports whether the run contained an ON-OFF loop.
@@ -203,22 +272,24 @@ type Study struct {
 }
 
 // Run executes the full study over all areas of all three operators.
+// It is RunContext under a background context; because that context
+// never cancels, an error is only possible from a misconfigured
+// checkpoint or sink, and Run panics on it — callers wiring those
+// options use RunContext.
 func Run(opts Options) *Study {
-	opts = opts.withDefaults()
-	st := &Study{Opts: opts}
-	for _, spec := range deploy.Areas() {
-		op := policy.ByName(spec.Operator)
-		st.Areas = append(st.Areas, RunArea(op, spec, opts))
+	st, err := RunContext(context.Background(), opts)
+	if err != nil {
+		panic(fmt.Sprintf("campaign.Run: %v (use RunContext to handle engine errors)", err))
 	}
 	return st
 }
 
-// RunOperator executes the study for a single operator.
+// RunOperator executes the study for a single operator. See Run for
+// the error contract.
 func RunOperator(op *policy.Operator, opts Options) *Study {
-	opts = opts.withDefaults()
-	st := &Study{Opts: opts}
-	for _, spec := range deploy.AreasFor(op.Name) {
-		st.Areas = append(st.Areas, RunArea(op, spec, opts))
+	st, err := RunOperatorContext(context.Background(), op, opts)
+	if err != nil {
+		panic(fmt.Sprintf("campaign.RunOperator: %v (use RunOperatorContext to handle engine errors)", err))
 	}
 	return st
 }
@@ -226,63 +297,40 @@ func RunOperator(op *policy.Operator, opts Options) *Study {
 // RunArea executes all runs of one area. Runs are independent (each
 // derives its own seed), so they execute on a bounded worker pool; the
 // record order — and therefore every downstream aggregate — is
-// identical to the sequential execution.
+// identical to the sequential execution. Checkpointing and sinks are
+// study-level concerns and are not consulted here.
 func RunArea(op *policy.Operator, spec deploy.AreaSpec, opts Options) *AreaResult {
-	opts = opts.withDefaults()
-	dep := deploy.Build(op, spec, opts.Seed+1)
-	res := &AreaResult{Spec: spec, Dep: dep}
-	runs := int(float64(spec.Runs)*opts.RunScale + 0.5)
-	if runs < 1 {
-		runs = 1
-	}
-	type job struct{ li, ri, slot int }
-	var jobs []job
-	for li := range dep.Clusters {
-		for ri := 0; ri < runs; ri++ {
-			jobs = append(jobs, job{li, ri, len(jobs)})
-		}
-	}
-	res.Records = make([]*Record, len(jobs))
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				res.Records[j.slot] = ExecuteRun(op, dep, dep.Clusters[j.li], j.li, j.ri, opts)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	return res
+	opts.Checkpoint, opts.Sink = "", nil
+	r := &runner{ctx: context.Background(), opts: opts.withDefaults()}
+	return r.runArea(op, spec, true)
 }
 
-// ExecuteRun performs a single run and post-processes it through the
-// full analysis pipeline. A run that panics does not tear down the
-// study: the panic is captured into a failure Record (with error and
-// stack), and the run is retried up to Options.MaxRetries times with a
-// perturbed seed before the failure sticks.
+// ExecuteRun performs a single run under a background context; see
+// ExecuteRunContext.
 func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	locIdx, runIdx int, opts Options) *Record {
+	return ExecuteRunContext(context.Background(), op, dep, cl, locIdx, runIdx, opts)
+}
+
+// ExecuteRunContext performs a single run and post-processes it
+// through the full analysis pipeline. A run that panics does not tear
+// down the study: the panic is captured into a failure Record (with
+// error and stack), and the run is retried — after a context-aware
+// backoff — up to Options.MaxRetries times with a perturbed seed
+// before the failure sticks. Deadline and cancellation failures are
+// final and never retried.
+func ExecuteRunContext(ctx context.Context, op *policy.Operator, dep *deploy.Deployment,
+	cl *deploy.Cluster, locIdx, runIdx int, opts Options) *Record {
 	opts = opts.withDefaults()
-	rec := runOnce(op, dep, cl, locIdx, runIdx, 0, opts)
-	for attempt := 1; rec.Failed() && attempt <= opts.MaxRetries; attempt++ {
-		retry := runOnce(op, dep, cl, locIdx, runIdx, attempt, opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rec := runOnce(ctx, op, dep, cl, locIdx, runIdx, 0, opts)
+	for attempt := 1; rec.FailKind == FailPanic && attempt <= opts.MaxRetries; attempt++ {
+		if !sleepBackoff(ctx, opts.RetryBackoff, attempt) {
+			break // cancelled while backing off: the panic record stands
+		}
+		retry := runOnce(ctx, op, dep, cl, locIdx, runIdx, attempt, opts)
 		retry.Attempts = attempt + 1
 		rec = retry
 	}
@@ -298,12 +346,35 @@ func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 			c.Add("campaign.failures", 1)
 			c.Add("campaign.failures"+label, 1)
 		}
+		switch rec.FailKind {
+		case FailNone:
+		case FailPanic, FailDeadline, FailCancelled:
+			c.Add("campaign.failures."+rec.FailKind.String(), 1)
+			c.Add("campaign.failures."+rec.FailKind.String()+label, 1)
+		}
 		if rec.Salvage != nil && !rec.Salvage.Clean() {
 			c.Add("campaign.salvaged_runs", 1)
 			c.Add("campaign.salvaged_runs"+label, 1)
 		}
 	}
 	return rec
+}
+
+// sleepBackoff waits out the retry backoff for the given attempt
+// (base·2^(attempt-1)), returning false if ctx was cancelled first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	if base <= 0 {
+		return true
+	}
+	d := base << (attempt - 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // metricLabel renders the per-operator/area counter suffix, e.g.
@@ -324,8 +395,10 @@ func startStage(c obs.Collector, s obs.Stage) func() {
 // the only way to exercise the recovery path deterministically.
 var testHookPanic func(area string, locIdx, runIdx, attempt int) bool
 
-// runOnce executes one attempt of a run under panic isolation.
-func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
+// runOnce executes one attempt of a run under panic isolation and the
+// study context. A context abort (cancellation or per-run deadline)
+// surfaces as a typed failure record, not a panic.
+func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	locIdx, runIdx, attempt int, opts Options) (rec *Record) {
 	rec = &Record{
 		Op:       op.Name,
@@ -341,6 +414,7 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		if p := recover(); p != nil {
 			rec.Err = fmt.Sprint(p)
 			rec.Stack = string(debug.Stack())
+			rec.FailKind = FailPanic
 			rec.Timeline = nil
 			rec.Analysis = core.Analysis{}
 			rec.Speeds = nil
@@ -354,6 +428,11 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	}()
 	if testHookPanic != nil && testHookPanic(dep.Area.ID, locIdx, runIdx, attempt) {
 		panic("injected test failure")
+	}
+	if opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
+		defer cancel()
 	}
 	// Retries perturb the seed so a deterministic crash input is not
 	// replayed verbatim.
@@ -369,12 +448,15 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		Metrics:  opts.Metrics,
 	}
 	var log *sig.Log
+	var abort error
 	if opts.FaultRates != nil {
 		// Stream the run end-to-end: the simulator emits into a pipe,
 		// the injector corrupts records in flight, and lenient parsing
 		// consumes the other end — the capture text is never
 		// materialized. A simulator panic is ferried back and re-raised
-		// here so the failure-record machinery above still sees it.
+		// here so the failure-record machinery above still sees it; a
+		// context abort is ferried the same way and the pipe is closed
+		// with its error so the parser unblocks.
 		// The simulate and parse spans overlap by construction: the
 		// emitter blocks on the pipe while the parser drains it, so
 		// each span measures its stage's wall-clock window, not
@@ -382,6 +464,7 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		inj := faults.New(seed+2, *opts.FaultRates).WithCollector(opts.Metrics)
 		pr, pw := io.Pipe()
 		panicked := make(chan any, 1)
+		aborted := make(chan error, 1)
 		go func() {
 			defer close(panicked)
 			defer func() {
@@ -392,7 +475,11 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 			}()
 			endSim := startStage(opts.Metrics, obs.StageSimulate)
 			em := sig.NewEmitter(pw)
-			uesim.RunTo(cfg, em)
+			if err := uesim.RunToContext(ctx, cfg, em); err != nil {
+				aborted <- err
+				pw.CloseWithError(err)
+				return
+			}
 			endSim()
 			pw.CloseWithError(em.Close())
 		}()
@@ -402,15 +489,31 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 		if p, ok := <-panicked; ok {
 			panic(p)
 		}
-		if err != nil {
-			panic(err) // pipe error without a writer panic; recovered above
+		select {
+		case abort = <-aborted:
+		default:
+			if err != nil {
+				panic(err) // pipe error without a writer panic; recovered above
+			}
 		}
 		log = salvaged
-		rec.Salvage = sal
+		rec.Salvage = normalizeSalvage(sal)
 	} else {
 		endSim := startStage(opts.Metrics, obs.StageSimulate)
-		log = uesim.Run(cfg).Log
+		collected := &sig.Log{Events: make([]sig.Event, 0, 4096)}
+		abort = uesim.RunToContext(ctx, cfg, collected)
 		endSim()
+		log = collected
+	}
+	if abort != nil {
+		rec.Err = abort.Error()
+		rec.FailKind = failKindFor(abort)
+		rec.Timeline = nil
+		rec.Analysis = core.Analysis{}
+		rec.Speeds = nil
+		rec.MeasCount = 0
+		rec.Salvage = nil
+		return rec
 	}
 	endExtract := startStage(opts.Metrics, obs.StageExtract)
 	tl := trace.FromLog(log)
@@ -430,6 +533,30 @@ func runOnce(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 	}
 	endAnalyze()
 	return rec
+}
+
+// normalizeSalvage flattens each quarantine cause to a plain
+// errors.New of its message. The parser surfaces concrete error types
+// (strconv.NumError and friends) that the record codec cannot
+// reconstruct; records must be wire-stable from birth so a resumed
+// study is deep-equal to an uninterrupted one. The rendered text is
+// unchanged — only the dynamic type is.
+func normalizeSalvage(sal *sig.Salvage) *sig.Salvage {
+	if sal == nil {
+		return nil
+	}
+	for _, pe := range sal.Errors {
+		pe.Err = errors.New(pe.Err.Error())
+	}
+	return sal
+}
+
+// failKindFor maps a context abort error to its failure kind.
+func failKindFor(err error) FailureKind {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return FailDeadline
+	}
+	return FailCancelled
 }
 
 // deployHash distinguishes run seeds across areas.

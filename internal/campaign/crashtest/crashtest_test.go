@@ -1,0 +1,121 @@
+package crashtest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPropertyResumeFromEveryInterruptionPoint is the resilience
+// property the tentpole stands on: for every interruption point
+// k ∈ [0, totalRuns] — the engine killed right after the k-th
+// checkpoint append — resuming from the surviving journal yields a
+// study deep-equal to an uninterrupted one, at one worker and at four.
+func TestPropertyResumeFromEveryInterruptionPoint(t *testing.T) {
+	f := Default()
+	for _, workers := range []int{1, 4} {
+		base, err := f.Baseline(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := len(base.Records(""))
+		if total < 4 {
+			t.Fatalf("fixture too small to be interesting: %d runs", total)
+		}
+		if n := base.Failures(); n != 0 {
+			t.Fatalf("fixture baseline has %d failures; the property needs a clean fixture", n)
+		}
+		for k := 0; k <= total; k++ {
+			path := filepath.Join(t.TempDir(), "study.ckpt")
+			if k > 0 {
+				if err := f.CrashAt(path, k, workers); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, sal, err := f.Resume(path, workers)
+			if err != nil {
+				t.Fatalf("workers=%d k=%d: resume: %v", workers, k, err)
+			}
+			if !sal.Clean() {
+				t.Fatalf("workers=%d k=%d: journal damaged: %s", workers, k, sal.Summary())
+			}
+			if err := SameRecords(base, st); err != nil {
+				t.Fatalf("workers=%d k=%d: %v", workers, k, err)
+			}
+		}
+	}
+}
+
+// TestCrossWorkerResume: a journal written under one worker count
+// resumes cleanly under another — run identity is independent of
+// scheduling.
+func TestCrossWorkerResume(t *testing.T) {
+	f := Default()
+	base, err := f.Baseline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	if err := f.CrashAt(path, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := f.Resume(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SameRecords(base, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedCrashesConverge: crash, resume-and-crash-again, resume —
+// a study that keeps dying still converges to the uninterrupted one,
+// because each life extends the same journal.
+func TestRepeatedCrashesConverge(t *testing.T) {
+	f := Default()
+	base, err := f.Baseline(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	if err := f.CrashAt(path, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Second life: resume but crash again after two more appends.
+	o := f.withWorkers(2)
+	o.CrashAfter = 2
+	if _, _, err := f.resumeWith(o, path); err == nil {
+		t.Fatal("second life should have crashed")
+	}
+	st, _, err := f.Resume(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SameRecords(base, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashAtJournalSize: the journal after CrashAt(k) holds exactly
+// the header plus k record lines — the fault point fires synchronously
+// with the append.
+func TestCrashAtJournalSize(t *testing.T) {
+	f := Default()
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	if err := f.CrashAt(path, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	if lines != 4 { // header + 3 records
+		t.Fatalf("journal holds %d lines, want 4 (header + 3 records)", lines)
+	}
+}

@@ -1,0 +1,430 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/mssn/loopscope/internal/checkpoint"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/faults"
+	"github.com/mssn/loopscope/internal/policy"
+)
+
+// ErrInjectedCrash is returned by the engine when Options.CrashAfter
+// fires — the crashtest harness's stand-in for a hard kill.
+var ErrInjectedCrash = errors.New("campaign: injected crash after checkpoint append")
+
+// metaKey is the journal key of the options-fingerprint header entry.
+const metaKey = "meta/options"
+
+// optsFingerprint pins the output-affecting options into the journal
+// header, so a journal can never be resumed under options that would
+// produce different records.
+type optsFingerprint struct {
+	Seed       int64         `json:"seed"`
+	Duration   time.Duration `json:"duration"`
+	RunScale   float64       `json:"run_scale"`
+	Device     string        `json:"device"`
+	KeepSpeeds bool          `json:"keep_speeds"`
+	Faults     *faults.Rates `json:"faults"`
+	MaxRetries int           `json:"max_retries"`
+}
+
+// fingerprint derives the journal header from withDefaults-applied
+// options.
+func fingerprint(opts Options) optsFingerprint {
+	return optsFingerprint{
+		Seed:       opts.Seed,
+		Duration:   opts.Duration,
+		RunScale:   opts.RunScale,
+		Device:     opts.Device.Name,
+		KeepSpeeds: opts.KeepSpeeds,
+		Faults:     opts.FaultRates,
+		MaxRetries: opts.MaxRetries,
+	}
+}
+
+// runKey is the deterministic identity of one run: operator, area,
+// location index, run index and the study's master seed.
+func runKey(op, area string, locIdx, runIdx int, seed int64) string {
+	return fmt.Sprintf("%s/%s/%d/%d/%d", op, area, locIdx, runIdx, seed)
+}
+
+// runner is the per-study engine state shared by the areas: the study
+// context, the checkpoint journal with its replay map, the sinks, and
+// the crash fault point.
+type runner struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc // nil for bare RunArea/wrapper use
+	opts   Options
+	sinks  []Sink
+	jr     *checkpoint.Journal
+	done   map[string]*Record // journal replay: run key → decoded record
+
+	mu          sync.Mutex
+	appended    int   // checkpoint record appends (header excluded)
+	crashed     bool  // CrashAfter fired: simulate death, stop persisting
+	stopDeliver bool  // delivery fence after crash/cancel/sink error
+	failErr     error // first journal or sink error
+}
+
+// fail records the first engine error and cancels the study.
+func (r *runner) fail(err error) {
+	if r.failErr == nil {
+		r.failErr = err
+	}
+	r.stopDeliver = true
+	if r.cancel != nil {
+		r.cancel(err)
+	}
+}
+
+// err returns the engine's terminal error: a journal/sink failure, the
+// injected crash, or the (possibly parent) context cancellation.
+func (r *runner) err() error {
+	r.mu.Lock()
+	failErr := r.failErr
+	r.mu.Unlock()
+	if failErr != nil {
+		return failErr
+	}
+	if err := context.Cause(r.ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// openJournal opens and replays the checkpoint journal when one is
+// configured, enforcing the Resume contract and the options
+// fingerprint.
+func (r *runner) openJournal() (*checkpoint.Salvage, error) {
+	if r.opts.Checkpoint == "" {
+		return nil, nil
+	}
+	jr, entries, sal, err := checkpoint.Open(r.opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	fp := fingerprint(r.opts)
+	if len(entries) == 0 {
+		if err := jr.Append(metaKey, fp); err != nil {
+			jr.Close()
+			return nil, err
+		}
+		r.jr = jr
+		return sal, nil
+	}
+	if !r.opts.Resume {
+		jr.Close()
+		return nil, fmt.Errorf("campaign: checkpoint journal %s already holds %d entries; set Options.Resume (flag -resume) to continue it, or remove the file",
+			r.opts.Checkpoint, len(entries))
+	}
+	if entries[0].Key != metaKey {
+		jr.Close()
+		return nil, fmt.Errorf("campaign: checkpoint journal %s has no options header; refusing to resume", r.opts.Checkpoint)
+	}
+	var have optsFingerprint
+	if err := json.Unmarshal(entries[0].Payload, &have); err != nil {
+		jr.Close()
+		return nil, fmt.Errorf("campaign: checkpoint journal %s: bad options header: %w", r.opts.Checkpoint, err)
+	}
+	if hb, _ := json.Marshal(have); string(hb) != mustJSON(fp) {
+		jr.Close()
+		return nil, fmt.Errorf("campaign: checkpoint journal %s was written by a different study (journal %s, resume %s)",
+			r.opts.Checkpoint, mustJSON(have), mustJSON(fp))
+	}
+	r.done = make(map[string]*Record, len(entries)-1)
+	for _, e := range entries[1:] {
+		rec, err := DecodeRecord(e.Payload)
+		if err != nil {
+			jr.Close()
+			return nil, fmt.Errorf("campaign: checkpoint journal %s: entry %q: %w", r.opts.Checkpoint, e.Key, err)
+		}
+		r.done[e.Key] = rec // duplicates: last entry wins, like the write order
+	}
+	if c := r.opts.Metrics; c != nil && !sal.Clean() {
+		c.Add("campaign.checkpoint.salvaged_lines", int64(sal.LinesDropped))
+	}
+	r.jr = jr
+	return sal, nil
+}
+
+// mustJSON renders v for fingerprint comparison and error messages.
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%+v", v)
+	}
+	return string(b)
+}
+
+// delivery is a per-area reorder window: records complete in any order
+// on the worker pool but sinks must observe slot order.
+type delivery struct {
+	next    int
+	pending map[int]*deliveryItem
+}
+
+type deliveryItem struct {
+	key string
+	rec *Record
+}
+
+// complete files one finished run: it is checkpointed immediately (in
+// completion order — the keyed replay makes order irrelevant) and
+// delivered to the sinks in slot order through the reorder window.
+func (r *runner) complete(d *delivery, slot int, key string, rec *Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.FailKind != FailCancelled && r.jr != nil && !r.crashed && r.failErr == nil {
+		if _, already := r.done[key]; !already {
+			if err := r.appendLocked(key, rec); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+	}
+	if r.stopDeliver || len(r.sinks) == 0 {
+		return
+	}
+	if d.pending == nil {
+		d.pending = make(map[int]*deliveryItem)
+	}
+	d.pending[slot] = &deliveryItem{key: key, rec: rec}
+	for {
+		it, ok := d.pending[d.next]
+		if !ok {
+			return
+		}
+		delete(d.pending, d.next)
+		if it.rec.FailKind == FailCancelled {
+			// A cancelled run has no durable result; everything after
+			// it in the stream is withheld so the sink output stays a
+			// clean prefix the resumed study will regenerate.
+			r.stopDeliver = true
+			return
+		}
+		for _, s := range r.sinks {
+			if err := s.Record(it.rec); err != nil {
+				r.fail(fmt.Errorf("campaign: sink: %w", err))
+				return
+			}
+		}
+		d.next++
+	}
+}
+
+// appendLocked persists one record and drives the CrashAfter fault
+// point. Callers hold r.mu.
+func (r *runner) appendLocked(key string, rec *Record) error {
+	b, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := r.jr.Append(key, json.RawMessage(b)); err != nil {
+		return err
+	}
+	if c := r.opts.Metrics; c != nil {
+		c.Add("campaign.runs.checkpointed", 1)
+	}
+	r.appended++
+	if r.opts.CrashAfter > 0 && r.appended >= r.opts.CrashAfter && !r.crashed {
+		r.crashed = true
+		r.stopDeliver = true
+		if r.cancel != nil {
+			r.cancel(ErrInjectedCrash)
+		}
+		r.failErr = ErrInjectedCrash
+	}
+	return nil
+}
+
+// beginArea announces the area to every sink.
+func (r *runner) beginArea(spec deploy.AreaSpec, dep *deploy.Deployment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopDeliver {
+		return
+	}
+	for _, s := range r.sinks {
+		if err := s.BeginArea(spec, dep); err != nil {
+			r.fail(fmt.Errorf("campaign: sink: %w", err))
+			return
+		}
+	}
+}
+
+// runArea executes all runs of one area on the worker pool; see
+// RunArea for the ordering contract. With retain false the records are
+// streamed to the sinks and released instead of materialized.
+func (r *runner) runArea(op *policy.Operator, spec deploy.AreaSpec, retain bool) *AreaResult {
+	opts := r.opts
+	dep := deploy.Build(op, spec, opts.Seed+1)
+	res := &AreaResult{Spec: spec, Dep: dep}
+	r.beginArea(spec, dep)
+	runs := int(float64(spec.Runs)*opts.RunScale + 0.5)
+	if runs < 1 {
+		runs = 1
+	}
+	type job struct{ li, ri, slot int }
+	var jobs []job
+	for li := range dep.Clusters {
+		for ri := 0; ri < runs; ri++ {
+			jobs = append(jobs, job{li, ri, len(jobs)})
+		}
+	}
+	if retain {
+		res.Records = make([]*Record, len(jobs))
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d := &delivery{}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				key := runKey(op.Name, spec.ID, j.li, j.ri, opts.Seed)
+				rec := r.executeJob(op, dep, dep.Clusters[j.li], j.li, j.ri, key)
+				if retain {
+					res.Records[j.slot] = rec
+				}
+				r.complete(d, j.slot, key, rec)
+			}
+		}()
+	}
+dispatch:
+	for _, j := range jobs {
+		select {
+		case ch <- j:
+		case <-r.ctx.Done():
+			break dispatch // graceful drain: stop handing out work
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if retain {
+		// Undispatched jobs form a suffix of nil slots; trim them so a
+		// cancelled study still satisfies the non-nil record invariant.
+		k := len(res.Records)
+		for k > 0 && res.Records[k-1] == nil {
+			k--
+		}
+		res.Records = res.Records[:k]
+	}
+	return res
+}
+
+// executeJob resolves one run: from the replay map when the journal
+// already holds it, by execution otherwise.
+func (r *runner) executeJob(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
+	locIdx, runIdx int, key string) *Record {
+	if rec, ok := r.done[key]; ok {
+		if c := r.opts.Metrics; c != nil {
+			c.Add("campaign.runs.resumed", 1)
+			c.Add("campaign.runs.resumed"+metricLabel(op.Name, dep.Area.ID), 1)
+		}
+		return rec
+	}
+	return ExecuteRunContext(r.ctx, op, dep, cl, locIdx, runIdx, r.opts)
+}
+
+// runStudy drives the whole study through a runner: journal replay,
+// area execution, sink delivery.
+func runStudy(ctx context.Context, opts Options, specs []deploy.AreaSpec,
+	retain bool, extra Sink) (*Study, *checkpoint.Salvage, error) {
+	opts = opts.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &runner{opts: opts}
+	if opts.Sink != nil {
+		r.sinks = append(r.sinks, opts.Sink)
+	}
+	if extra != nil && extra != opts.Sink {
+		r.sinks = append(r.sinks, extra)
+	}
+	sal, err := r.openJournal()
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.jr != nil {
+		defer r.jr.Close()
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	r.ctx, r.cancel = cctx, cancel
+	st := &Study{Opts: opts}
+	for _, spec := range specs {
+		if r.err() != nil {
+			break
+		}
+		op := policy.ByName(spec.Operator)
+		st.Areas = append(st.Areas, r.runArea(op, spec, retain))
+	}
+	if r.jr != nil {
+		if err := r.jr.Sync(); err != nil && r.err() == nil {
+			r.fail(err)
+		}
+	}
+	return st, sal, r.err()
+}
+
+// RunContext executes the full study under ctx, honouring the
+// checkpoint, sink, timeout and crash-point options. On cancellation
+// it drains gracefully — in-flight runs abort between events, finished
+// work stays checkpointed — and returns the partial study together
+// with the cancellation cause.
+func RunContext(ctx context.Context, opts Options) (*Study, error) {
+	st, _, err := runStudy(ctx, opts, deploy.Areas(), true, nil)
+	return st, err
+}
+
+// RunOperatorContext is RunContext over a single operator's areas.
+func RunOperatorContext(ctx context.Context, op *policy.Operator, opts Options) (*Study, error) {
+	st, _, err := runStudy(ctx, opts, deploy.AreasFor(op.Name), true, nil)
+	return st, err
+}
+
+// Resume re-runs the study on top of the checkpoint journal at path:
+// runs already journaled are replayed instead of executed, the journal
+// is salvaged first if damaged (the returned report says what was
+// discarded), and the resulting study — records, aggregates, rendered
+// experiments — is byte-identical to an uninterrupted run with the
+// same options at any worker count.
+func Resume(ctx context.Context, opts Options, path string) (*Study, *checkpoint.Salvage, error) {
+	opts.Checkpoint = path
+	opts.Resume = true
+	return runStudy(ctx, opts, deploy.Areas(), true, nil)
+}
+
+// ResumeOperator is Resume over a single operator's areas.
+func ResumeOperator(ctx context.Context, op *policy.Operator, opts Options, path string) (*Study, *checkpoint.Salvage, error) {
+	opts.Checkpoint = path
+	opts.Resume = true
+	return runStudy(ctx, opts, deploy.AreasFor(op.Name), true, nil)
+}
+
+// RunSink streams the study into sink without materializing records:
+// each record is released once delivered, so memory stays flat no
+// matter the study size. The returned study carries the area specs and
+// deployments but no records.
+func RunSink(ctx context.Context, opts Options, sink Sink) (*Study, error) {
+	st, _, err := runStudy(ctx, opts, deploy.Areas(), false, sink)
+	return st, err
+}

@@ -1,0 +1,320 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mssn/loopscope/internal/checkpoint"
+	"github.com/mssn/loopscope/internal/deploy"
+	"github.com/mssn/loopscope/internal/obs"
+	"github.com/mssn/loopscope/internal/policy"
+)
+
+// tinyOpts is a fast single-operator study configuration.
+func tinyOpts() Options {
+	return Options{Seed: 42, Duration: 120 * time.Second, RunScale: MinRunScale}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	opts := tinyOpts()
+	want := RunOperator(policy.OPT(), opts)
+	got, err := RunOperatorContext(context.Background(), policy.OPT(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Areas, got.Areas) {
+		t.Fatal("RunOperatorContext diverged from RunOperator")
+	}
+}
+
+// TestStudySinkEquivalence: the record stream reassembles into exactly
+// the study the engine returns, at several worker counts.
+func TestStudySinkEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		opts := tinyOpts()
+		opts.Workers = workers
+		want := RunOperator(policy.OPT(), opts)
+		ss := NewStudySink()
+		opts.Sink = ss
+		got, err := RunOperatorContext(context.Background(), policy.OPT(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed := ss.Study(opts)
+		if !reflect.DeepEqual(want.Areas, streamed.Areas) {
+			t.Fatalf("workers=%d: streamed study diverged from materialized study", workers)
+		}
+		if !reflect.DeepEqual(got.Areas, streamed.Areas) {
+			t.Fatalf("workers=%d: sink saw different records than the returned study", workers)
+		}
+	}
+}
+
+// TestJSONLSinkDeterministicOrder: the JSONL byte stream is identical
+// at any worker count.
+func TestJSONLSinkDeterministicOrder(t *testing.T) {
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		opts := tinyOpts()
+		opts.Workers = workers
+		opts.Sink = NewJSONLSink(&buf)
+		if _, err := RunOperatorContext(context.Background(), policy.OPT(), opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	if len(seq) == 0 || bytes.Count(seq, []byte{'\n'}) < 2 {
+		t.Fatalf("JSONL output suspiciously small: %d bytes", len(seq))
+	}
+	if par := render(4); !bytes.Equal(seq, par) {
+		t.Fatal("JSONL output differs between 1 and 4 workers")
+	}
+}
+
+// TestRunSinkStreamsWithoutRetaining: RunSink's stream reassembles the
+// full study while the returned skeleton holds no records.
+func TestRunSinkStreamsWithoutRetaining(t *testing.T) {
+	opts := tinyOpts()
+	want := RunOperator(policy.OPT(), opts)
+	ss := NewStudySink()
+	skel, _, err := runStudy(context.Background(), opts, deploy.AreasFor("OPT"), false, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range skel.Areas {
+		if len(a.Records) != 0 {
+			t.Fatal("RunSink retained records")
+		}
+	}
+	if !reflect.DeepEqual(want.Areas, ss.Study(opts).Areas) {
+		t.Fatal("streamed-only study diverged")
+	}
+}
+
+// TestResumeFromCrash: a study killed by the fault point after k
+// checkpoint appends resumes to records deep-equal to an uninterrupted
+// run's, and the journal skips exactly the completed runs.
+func TestResumeFromCrash(t *testing.T) {
+	opts := tinyOpts()
+	want := RunOperator(policy.OPT(), opts)
+	total := len(want.Records(""))
+	if total < 3 {
+		t.Fatalf("fixture too small: %d runs", total)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.ckpt")
+	reg := obs.NewRegistry()
+	crashOpts := opts
+	crashOpts.Checkpoint = path
+	crashOpts.CrashAfter = 2
+	crashOpts.Metrics = reg
+	_, err := RunOperatorContext(context.Background(), policy.OPT(), crashOpts)
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v, want ErrInjectedCrash", err)
+	}
+	if got := reg.Counter("campaign.runs.checkpointed").Value(); got != 2 {
+		t.Fatalf("checkpointed = %d, want 2 (crash must stop persistence)", got)
+	}
+
+	resumeOpts := opts
+	resumeOpts.Metrics = reg
+	st, sal, err := resumeOperator(t, resumeOpts, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sal.Clean() {
+		t.Fatalf("journal unexpectedly damaged: %s", sal.Summary())
+	}
+	if !reflect.DeepEqual(want.Areas, st.Areas) {
+		t.Fatal("resumed study diverged from uninterrupted study")
+	}
+	if got := reg.Counter("campaign.runs.resumed").Value(); got != 2 {
+		t.Fatalf("resumed = %d, want 2", got)
+	}
+}
+
+// resumeOperator is Resume narrowed to OPT's areas (Resume proper runs
+// every operator; tests stay fast on one).
+func resumeOperator(t *testing.T, opts Options, path string) (*Study, *checkpoint.Salvage, error) {
+	t.Helper()
+	return ResumeOperator(context.Background(), policy.OPT(), opts, path)
+}
+
+// TestResumeRequiresFlag: an existing journal without Resume is an
+// error, so two studies cannot interleave into one file.
+func TestResumeRequiresFlag(t *testing.T) {
+	opts := tinyOpts()
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	opts.Checkpoint = path
+	opts.CrashAfter = 1
+	if _, err := RunOperatorContext(context.Background(), policy.OPT(), opts); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("setup: %v", err)
+	}
+	opts.CrashAfter = 0
+	if _, err := RunOperatorContext(context.Background(), policy.OPT(), opts); err == nil {
+		t.Fatal("reusing a populated journal without Resume must fail")
+	}
+}
+
+// TestResumeRejectsForeignJournal: the options fingerprint guards
+// against resuming under different study options.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	opts := tinyOpts()
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	opts.Checkpoint = path
+	opts.CrashAfter = 1
+	if _, err := RunOperatorContext(context.Background(), policy.OPT(), opts); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("setup: %v", err)
+	}
+	other := opts
+	other.Seed = 43
+	other.CrashAfter = 0
+	if _, _, err := resumeOperator(t, other, path); err == nil {
+		t.Fatal("resuming under a different seed must fail the fingerprint check")
+	}
+}
+
+// TestResumeSalvagesDamagedJournal: a torn journal tail (crash mid-
+// append) is salvaged, the lost runs re-execute, and the study is
+// still deep-equal to an uninterrupted one.
+func TestResumeSalvagesDamagedJournal(t *testing.T) {
+	opts := tinyOpts()
+	want := RunOperator(policy.OPT(), opts)
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	crash := opts
+	crash.Checkpoint = path
+	crash.CrashAfter = 3
+	if _, err := RunOperatorContext(context.Background(), policy.OPT(), crash); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("setup: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, sal, err := resumeOperator(t, opts, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.Clean() {
+		t.Fatal("damaged journal reported clean salvage")
+	}
+	if !reflect.DeepEqual(want.Areas, st.Areas) {
+		t.Fatal("salvaged resume diverged from uninterrupted study")
+	}
+}
+
+// TestCancelDrainsGracefully: cancelling mid-study stops dispatch,
+// aborts in-flight runs between events, and reports the cause.
+func TestCancelDrainsGracefully(t *testing.T) {
+	opts := tinyOpts()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := RunOperatorContext(ctx, policy.OPT(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, a := range st.Areas {
+		for _, r := range a.Records {
+			if r == nil {
+				t.Fatal("cancelled study contains nil record slots")
+			}
+		}
+	}
+}
+
+// TestDeadlineRecord: an immediately-expiring per-run deadline yields
+// a typed, final failure record and per-kind counters.
+func TestDeadlineRecord(t *testing.T) {
+	opts := tinyOpts()
+	opts.RunTimeout = time.Nanosecond
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	opts = opts.withDefaults()
+	spec := areaSpec(t, "A1")
+	dep := deploy.Build(policy.OPT(), spec, opts.Seed+1)
+	rec := ExecuteRunContext(context.Background(), policy.OPT(), dep, dep.Clusters[0], 0, 0, opts)
+	if rec.FailKind != FailDeadline || !rec.Failed() {
+		t.Fatalf("FailKind = %v, Err = %q; want deadline failure", rec.FailKind, rec.Err)
+	}
+	if rec.Attempts != 1 {
+		t.Fatalf("deadline was retried: Attempts = %d", rec.Attempts)
+	}
+	if rec.Stack != "" || rec.Timeline != nil || rec.Salvage != nil {
+		t.Fatal("deadline record must carry no stack/timeline/salvage")
+	}
+	if got := reg.Counter("campaign.failures.deadline").Value(); got != 1 {
+		t.Fatalf("campaign.failures.deadline = %d, want 1", got)
+	}
+	if got := reg.Counter("campaign.failures").Value(); got != 1 {
+		t.Fatalf("campaign.failures = %d, want 1", got)
+	}
+}
+
+// TestCancelledRecordKind covers the cancelled branch of the taxonomy
+// via ExecuteRunContext directly (the engine drops such records from
+// sinks and journals).
+func TestCancelledRecordKind(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	spec := areaSpec(t, "A1")
+	dep := deploy.Build(policy.OPT(), spec, opts.Seed+1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := ExecuteRunContext(ctx, policy.OPT(), dep, dep.Clusters[0], 0, 0, opts)
+	if rec.FailKind != FailCancelled {
+		t.Fatalf("FailKind = %v, want FailCancelled", rec.FailKind)
+	}
+	if got := reg.Counter("campaign.failures.cancelled").Value(); got != 1 {
+		t.Fatalf("campaign.failures.cancelled = %d, want 1", got)
+	}
+}
+
+// TestRetryBackoffIsContextAware: cancellation during the backoff
+// sleep stops retrying and the panic record stands.
+func TestRetryBackoffIsContextAware(t *testing.T) {
+	opts := tinyOpts()
+	opts.RetryBackoff = time.Hour
+	opts = opts.withDefaults()
+	spec := areaSpec(t, "A1")
+	dep := deploy.Build(policy.OPT(), spec, opts.Seed+1)
+	testHookPanic = func(area string, locIdx, runIdx, attempt int) bool { return true }
+	defer func() { testHookPanic = nil }()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	rec := ExecuteRunContext(ctx, policy.OPT(), dep, dep.Clusters[0], 0, 0, opts)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("backoff ignored cancellation (%v)", elapsed)
+	}
+	if rec.FailKind != FailPanic || rec.Attempts != 1 {
+		t.Fatalf("rec = kind %v attempts %d; want the un-retried panic record", rec.FailKind, rec.Attempts)
+	}
+}
+
+// TestRetryBackoffSleeps: with a tiny backoff the retry path still
+// works and the retried record reports its attempts.
+func TestRetryBackoffSleeps(t *testing.T) {
+	opts := tinyOpts()
+	opts.RetryBackoff = time.Millisecond
+	opts = opts.withDefaults()
+	spec := areaSpec(t, "A1")
+	dep := deploy.Build(policy.OPT(), spec, opts.Seed+1)
+	testHookPanic = func(area string, locIdx, runIdx, attempt int) bool { return attempt == 0 }
+	defer func() { testHookPanic = nil }()
+	rec := ExecuteRunContext(context.Background(), policy.OPT(), dep, dep.Clusters[0], 0, 0, opts)
+	if rec.Failed() || rec.Attempts != 2 {
+		t.Fatalf("retry with backoff broke: failed=%v attempts=%d", rec.Failed(), rec.Attempts)
+	}
+}

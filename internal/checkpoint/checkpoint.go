@@ -1,0 +1,203 @@
+// Package checkpoint implements the durable run journal behind
+// campaign crash recovery: an append-only JSONL file with one
+// self-checksummed entry per completed unit of work, keyed by the
+// caller's deterministic identity string.
+//
+// The journal is deliberately generic — it stores opaque JSON payloads
+// under opaque keys and knows nothing about any domain package — so it
+// sits at the leaf of the layering table. Durability comes from the
+// format, not from fsync discipline: every line carries a CRC-32
+// (IEEE) of its key and payload, so a crash mid-append leaves at worst
+// one torn tail line that Open detects and truncates away. Salvage is
+// strictly prefix-based: the longest run of consecutively valid lines
+// survives and everything after the first damaged line is discarded,
+// because entries after a corrupt region cannot be trusted to describe
+// the same journal generation.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// Entry is one journal record: an opaque payload filed under the
+// caller's deterministic key. Keys may repeat; replay order is file
+// order, so the last entry for a key wins.
+type Entry struct {
+	Key     string
+	Payload json.RawMessage
+}
+
+// Salvage reports what Open recovered from an existing journal file.
+type Salvage struct {
+	// Entries is the number of valid entries kept (the prefix).
+	Entries int
+	// LinesDropped counts discarded lines — bad checksum, malformed
+	// JSON, or a torn tail with no trailing newline — including every
+	// line after the first damaged one.
+	LinesDropped int
+	// BytesDropped is the size of the truncated tail.
+	BytesDropped int64
+}
+
+// Clean reports whether the whole file was valid.
+func (s *Salvage) Clean() bool { return s.LinesDropped == 0 }
+
+// Summary renders a one-line salvage report in the style of
+// sig.Salvage.Summary.
+func (s *Salvage) Summary() string {
+	if s.Clean() {
+		return fmt.Sprintf("journal intact: %d entries", s.Entries)
+	}
+	return fmt.Sprintf("journal salvaged: %d entries kept, %d lines (%d bytes) discarded",
+		s.Entries, s.LinesDropped, s.BytesDropped)
+}
+
+// line is the on-disk schema of one entry. C is the CRC-32 (IEEE) hex
+// digest of the key, a NUL separator, and the compact payload bytes;
+// field order is fixed by the struct so appended lines are
+// byte-deterministic.
+type line struct {
+	C string          `json:"c"`
+	K string          `json:"k"`
+	P json.RawMessage `json:"p"`
+}
+
+// checksum digests one entry the way Append writes it and Open
+// verifies it.
+func checksum(key string, payload []byte) string {
+	h := crc32.NewIEEE()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Journal is an open checkpoint file positioned for appending. Append
+// is safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if absent) the journal at path, validates the
+// existing content line by line, truncates the file to the longest
+// valid prefix, and returns the surviving entries in file order plus a
+// salvage report. The returned journal is positioned to append after
+// the valid prefix.
+func Open(path string) (*Journal, []Entry, *Salvage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	entries, validBytes, sal := scan(data)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if int64(len(data)) > validBytes {
+		if err := f.Truncate(validBytes); err != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("checkpoint: truncating damaged tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validBytes, 0); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Journal{f: f, path: path}, entries, sal, nil
+}
+
+// scan walks the file content, returning the entries of the longest
+// valid prefix, the byte length of that prefix, and the salvage
+// report for the rest.
+func scan(data []byte) ([]Entry, int64, *Salvage) {
+	var entries []Entry
+	sal := &Salvage{}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail without newline: invalid by construction
+		}
+		raw := data[off : off+nl]
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil || l.C != checksum(l.K, l.P) {
+			break
+		}
+		entries = append(entries, Entry{Key: l.K, Payload: l.P})
+		off += nl + 1
+	}
+	sal.Entries = len(entries)
+	sal.BytesDropped = int64(len(data) - off)
+	sal.LinesDropped = countLines(data[off:])
+	return entries, int64(off), sal
+}
+
+// countLines counts the (possibly newline-less final) lines in the
+// discarded tail.
+func countLines(tail []byte) int {
+	if len(tail) == 0 {
+		return 0
+	}
+	n := bytes.Count(tail, []byte{'\n'})
+	if tail[len(tail)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// Append marshals payload and appends one checksummed entry under key.
+// The line is written with a single Write call and no userspace
+// buffering, so a crash between appends never tears an already-written
+// entry.
+func (j *Journal) Append(key string, payload any) error {
+	p, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding %q: %w", key, err)
+	}
+	buf, err := json.Marshal(line{C: checksum(key, p), K: key, P: p})
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("checkpoint: appending to %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Sync forces the journal contents to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close releases the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }

@@ -61,6 +61,14 @@ func NewContext(opts campaign.Options) *Context {
 	return &Context{Opts: opts}
 }
 
+// NewContextWithStudy builds a context over an already-materialized
+// study — e.g. one resumed from a checkpoint journal — so generators
+// render from it instead of running their own. The study's own options
+// seed the context's derived datasets.
+func NewContextWithStudy(st *campaign.Study) *Context {
+	return &Context{Opts: st.Opts, study: st}
+}
+
 // Study lazily runs the sparse measurement study.
 func (c *Context) Study() *campaign.Study {
 	c.mu.Lock()

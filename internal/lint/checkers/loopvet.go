@@ -66,10 +66,14 @@ var LayeringRules = map[string]Rule{
 	"uesim": {Allow: []string{"band", "cell", "deploy", "device", "geo", "meas", "obs", "policy", "radio", "rrc", "sig", "units"},
 		Reason: "the run engine drives UE ↔ network exchanges and emits logs; it sits above every simulator layer"},
 
+	"checkpoint": {Reason: "the durable run journal is a leaf persistence utility: it stores opaque keyed payloads and may not know the domain"},
+
 	// Orchestration.
-	"campaign": {Allow: []string{"band", "cell", "core", "deploy", "device", "faults", "geo", "meas",
+	"campaign": {Allow: []string{"band", "cell", "checkpoint", "core", "deploy", "device", "faults", "geo", "meas",
 		"obs", "policy", "rrc", "sig", "throughput", "trace", "uesim", "units"},
 		Reason: "the campaign runner orchestrates simulation and analysis end-to-end"},
+	"campaign/crashtest": {Allow: []string{"campaign", "checkpoint", "policy"},
+		Reason: "the kill-and-resume harness drives the campaign engine's fault point from outside; it needs no other layer"},
 	"experiments": {Allow: []string{"band", "campaign", "cell", "core", "deploy", "device", "faults", "geo",
 		"meas", "policy", "radio", "sig", "stats", "throughput", "trace", "uesim", "viz", "units"},
 		Reason: "experiment generators may reach every layer to reproduce the paper's tables and figures"},
@@ -98,6 +102,7 @@ var ClosedEnums = []Enum{
 	{Pkg: "internal/rrc", Type: "ReestCause"},
 	{Pkg: "internal/rrc", Type: "MeasRole"},
 	{Pkg: "internal/obs", Type: "Stage"},
+	{Pkg: "internal/campaign", Type: "FailureKind"},
 }
 
 // ApprovedFloatCmp lists the epsilon helpers whose bodies may compare

@@ -1,11 +1,18 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
+
+// DefaultDrainTimeout bounds how long a stopping debug server waits
+// for in-flight requests (a scrape, a running profile) to finish
+// before cutting them off.
+const DefaultDrainTimeout = 2 * time.Second
 
 // StartDebugServer serves the standard Go debug endpoints plus the
 // registry snapshot on addr ("host:port"; ":0" picks a free port):
@@ -14,10 +21,20 @@ import (
 //	/debug/vars     expvar (cmdline, memstats)
 //	/metrics        the registry's Snapshot as JSON (404 when reg is nil)
 //
-// It returns the bound address and a func that shuts the server down.
+// It returns the bound address and a func that shuts the server down
+// gracefully with DefaultDrainTimeout (see StartDebugServerDrain).
 // The server runs on its own goroutine; it observes, it never blocks
 // the pipeline.
 func StartDebugServer(addr string, reg *Registry) (bound string, stop func() error, err error) {
+	return StartDebugServerDrain(addr, reg, DefaultDrainTimeout)
+}
+
+// StartDebugServerDrain is StartDebugServer with an explicit drain
+// budget: stop first refuses new connections and waits up to drain for
+// in-flight requests to complete, then force-closes whatever remains —
+// so a stuck profile download can delay shutdown by at most drain. A
+// non-positive drain skips the grace period and closes immediately.
+func StartDebugServerDrain(addr string, reg *Registry, drain time.Duration) (bound string, stop func() error, err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -37,5 +54,21 @@ func StartDebugServer(addr string, reg *Registry) (bound string, stop func() err
 	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	stop = func() error {
+		if drain <= 0 {
+			return srv.Close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain budget exhausted: cut the stragglers loose.
+			closeErr := srv.Close()
+			if closeErr != nil {
+				return closeErr
+			}
+			return err
+		}
+		return nil
+	}
+	return ln.Addr().String(), stop, nil
 }

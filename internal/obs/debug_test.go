@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugServer(t *testing.T) {
@@ -81,5 +85,77 @@ func TestDebugServerNoRegistry(t *testing.T) {
 func TestDebugServerBadAddr(t *testing.T) {
 	if _, _, err := StartDebugServer("256.256.256.256:1", nil); err == nil {
 		t.Error("expected an error for an unbindable address")
+	}
+}
+
+// TestDebugServerGracefulStop: with no requests in flight, stop drains
+// cleanly, returns nil, and the port is released.
+func TestDebugServerGracefulStop(t *testing.T) {
+	bound, stop, err := StartDebugServerDrain("127.0.0.1:0", NewRegistry(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		t.Fatal("server still answering after stop")
+	}
+}
+
+// TestDebugServerDrainBounded: a connection stuck mid-request cannot
+// stall shutdown beyond the drain budget — stop force-closes it and
+// reports the exhausted deadline.
+func TestDebugServerDrainBounded(t *testing.T) {
+	const drain = 250 * time.Millisecond
+	bound, stop, err := StartDebugServerDrain("127.0.0.1:0", nil, drain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partial request pins the connection in the active state: the
+	// server has read bytes but no complete request ever arrives.
+	conn, err := net.Dial("tcp", bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the server observe the bytes
+	start := time.Now()
+	err = stop()
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stop = %v, want context.DeadlineExceeded (drain exhausted)", err)
+	}
+	if elapsed > drain+2*time.Second {
+		t.Fatalf("stop took %v, far beyond the %v drain budget", elapsed, drain)
+	}
+	// The straggler was cut loose, not left hanging.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stuck connection survived the forced close")
+	}
+}
+
+// TestDebugServerZeroDrainClosesImmediately: a non-positive drain is
+// the old hard-close behavior.
+func TestDebugServerZeroDrainClosesImmediately(t *testing.T) {
+	bound, stop, err := StartDebugServerDrain("127.0.0.1:0", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("immediate stop: %v", err)
+	}
+	if _, err := http.Get("http://" + bound + "/debug/vars"); err == nil {
+		t.Fatal("server still answering after stop")
 	}
 }

@@ -13,6 +13,7 @@
 package uesim
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -133,6 +134,23 @@ func Run(cfg Config) *Result {
 // a *sig.Log it is Run. Events arrive in strictly increasing time
 // order.
 func RunTo(cfg Config, sink sig.Sink) {
+	// A background context never cancels, so the error is impossible.
+	_ = RunToContext(context.Background(), cfg, sink)
+}
+
+// runAbort is the panic sentinel that unwinds the engine when its
+// context is cancelled mid-run; RunToContext converts it back into the
+// context's error. Any other panic propagates untouched.
+type runAbort struct{ err error }
+
+// RunToContext is RunTo under a context: the run aborts between events
+// as soon as ctx is cancelled or its deadline passes, and the context's
+// error is returned. An aborted run has emitted a strict prefix of the
+// uninterrupted event stream — cancellation never tears an event — but
+// carries no run-end stamp, so its capture must be discarded, not
+// analyzed. A nil or never-cancelled ctx reproduces RunTo exactly:
+// the engine consumes the same RNG stream and emits the same events.
+func RunToContext(ctx context.Context, cfg Config, sink sig.Sink) (err error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 5 * time.Minute
 	}
@@ -149,11 +167,32 @@ func RunTo(cfg Config, sink sig.Sink) {
 	if cfg.WalkSpeedMps <= 0 {
 		cfg.WalkSpeedMps = 1.4
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := &engine{
 		cfg:  cfg,
+		ctx:  ctx,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		sink: sink,
 		last: -1,
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		ab, ok := p.(runAbort)
+		if !ok {
+			panic(p)
+		}
+		err = ab.err
+		if cfg.Metrics != nil {
+			cfg.Metrics.Add("uesim.runs.cancelled", 1)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		panic(runAbort{err})
 	}
 	if cfg.Op.Mode == policy.ModeSA {
 		e.runSA()
@@ -174,11 +213,13 @@ func RunTo(cfg Config, sink sig.Sink) {
 		cfg.Metrics.Add("uesim.events.emitted", e.emitted)
 		cfg.Metrics.Observe("uesim.events.count", float64(e.emitted))
 	}
+	return nil
 }
 
 // engine is the shared simulation state.
 type engine struct {
 	cfg     Config
+	ctx     context.Context
 	rng     *rand.Rand
 	sink    sig.Sink
 	now     time.Duration
@@ -187,8 +228,14 @@ type engine struct {
 }
 
 // emit appends a message at the current simulated time and advances the
-// clock by one millisecond so message ordering is strict.
+// clock by one millisecond so message ordering is strict. It is also
+// the cancellation point: checking the context here (not on the tick
+// loop) guarantees an aborted run emitted a strict prefix of the
+// uninterrupted stream.
 func (e *engine) emit(m rrc.Message) {
+	if err := e.ctx.Err(); err != nil {
+		panic(runAbort{err})
+	}
 	e.sink.Append(e.now, m)
 	e.emitted++
 	e.last = e.now

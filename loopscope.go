@@ -27,11 +27,13 @@
 package loopscope
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"github.com/mssn/loopscope/internal/campaign"
 	"github.com/mssn/loopscope/internal/cell"
+	"github.com/mssn/loopscope/internal/checkpoint"
 	"github.com/mssn/loopscope/internal/core"
 	"github.com/mssn/loopscope/internal/deploy"
 	"github.com/mssn/loopscope/internal/device"
@@ -267,6 +269,49 @@ func NewLogEmitter(w io.Writer) *LogEmitter { return sig.NewEmitter(w) }
 // RunStudy executes the full measurement study across all areas.
 func RunStudy(opts StudyOptions) *Study { return campaign.Run(opts) }
 
+// Study resilience (see docs/RESILIENCE.md). A study can stream its
+// records into a StudySink as it executes, journal every completed run
+// into a checkpoint file, and — after a crash or cancellation — resume
+// from that journal to a byte-identical dataset.
+type (
+	// StudySink receives every completed run record in deterministic
+	// order while a study executes (StudyOptions.Sink).
+	StudySink = campaign.Sink
+	// CheckpointSalvage reports what opening a damaged checkpoint
+	// journal kept and discarded.
+	CheckpointSalvage = checkpoint.Salvage
+)
+
+// NewJSONLStudySink returns a StudySink that appends each record to w
+// as one JSON line (decode with DecodeStudyRecord). The writer is not
+// closed; the caller owns its lifecycle.
+func NewJSONLStudySink(w io.Writer) StudySink { return campaign.NewJSONLSink(w) }
+
+// RunStudyContext is RunStudy under a context, honouring the
+// checkpoint, sink and per-run timeout options. On cancellation it
+// drains gracefully — in-flight runs abort, finished work stays
+// checkpointed — and returns the partial study with the cause.
+func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
+	return campaign.RunContext(ctx, opts)
+}
+
+// ResumeStudy re-runs the study on top of the checkpoint journal at
+// path: journaled runs are replayed instead of executed, a damaged
+// journal is salvaged first (the report says what was discarded), and
+// the result is byte-identical to an uninterrupted run with the same
+// options at any worker count.
+func ResumeStudy(ctx context.Context, opts StudyOptions, path string) (*Study, *CheckpointSalvage, error) {
+	return campaign.Resume(ctx, opts, path)
+}
+
+// EncodeStudyRecord marshals one record in the canonical wire form
+// used by checkpoint journals and JSONL sinks.
+func EncodeStudyRecord(rec *Record) ([]byte, error) { return campaign.EncodeRecord(rec) }
+
+// DecodeStudyRecord is EncodeStudyRecord's inverse; the decoded record
+// is deep-equal to the encoded one.
+func DecodeStudyRecord(data []byte) (*Record, error) { return campaign.DecodeRecord(data) }
+
 // ExportStudyCSV writes the study as three CSV tables (runs, loop
 // cycles, locations) into the given writers; pass nil to skip a table.
 // The format mirrors the paper's released dataset.
@@ -325,6 +370,30 @@ type ExperimentResult struct {
 // IDs are skipped. Passing nil runs everything in presentation order.
 func Experiments(ids []string, opts StudyOptions) []ExperimentResult {
 	ctx := experiments.NewContext(opts)
+	var gens []experiments.Generator
+	if ids == nil {
+		gens = experiments.All()
+	} else {
+		for _, id := range ids {
+			if g, ok := experiments.ByID(id); ok {
+				gens = append(gens, g)
+			}
+		}
+	}
+	out := make([]ExperimentResult, 0, len(gens))
+	for _, g := range gens {
+		res := g.Run(ctx)
+		out = append(out, ExperimentResult{ID: g.ID, Title: g.Title, Lines: res.Lines, Values: res.Values})
+	}
+	return out
+}
+
+// ExperimentsWithStudy is Experiments over an already-materialized
+// study — typically one resumed from a checkpoint journal — so the
+// tables and figures render without re-running it. Output is identical
+// to Experiments with the study's options.
+func ExperimentsWithStudy(ids []string, st *Study) []ExperimentResult {
+	ctx := experiments.NewContextWithStudy(st)
 	var gens []experiments.Generator
 	if ids == nil {
 		gens = experiments.All()
