@@ -167,7 +167,9 @@ const (
 	FailNone FailureKind = iota
 	// FailPanic marks a run that panicked; Stack holds the trace.
 	FailPanic
-	// FailDeadline marks a run that exceeded Options.RunTimeout.
+	// FailDeadline marks a run that exceeded Options.RunTimeout while
+	// the study itself was still live; a deadline inherited from the
+	// study context is classified FailCancelled instead.
 	FailDeadline
 	// FailCancelled marks a run aborted by study cancellation; such
 	// records are never checkpointed or delivered to sinks, so a
@@ -318,7 +320,10 @@ func ExecuteRun(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
 // error and stack), and the run is retried — after a context-aware
 // backoff — up to Options.MaxRetries times with a perturbed seed
 // before the failure sticks. Deadline and cancellation failures are
-// final and never retried.
+// final and never retried; cancellation during a retry backoff also
+// yields a cancelled record (not the interim panic), because an
+// uninterrupted study would have retried and the panic must not be
+// checkpointed as final.
 func ExecuteRunContext(ctx context.Context, op *policy.Operator, dep *deploy.Deployment,
 	cl *deploy.Cluster, locIdx, runIdx int, opts Options) *Record {
 	opts = opts.withDefaults()
@@ -328,7 +333,21 @@ func ExecuteRunContext(ctx context.Context, op *policy.Operator, dep *deploy.Dep
 	rec := runOnce(ctx, op, dep, cl, locIdx, runIdx, 0, opts)
 	for attempt := 1; rec.FailKind == FailPanic && attempt <= opts.MaxRetries; attempt++ {
 		if !sleepBackoff(ctx, opts.RetryBackoff, attempt) {
-			break // cancelled while backing off: the panic record stands
+			// Cancelled while backing off. The interim panic record must
+			// not stand: it would be checkpointed as a final failure,
+			// while an uninterrupted study would have retried (possibly
+			// succeeding) — resume(k) would diverge from the baseline.
+			// Demote it to a cancelled record, which the engine neither
+			// checkpoints nor delivers, so the resumed study re-runs it
+			// with the full retry budget.
+			cause := context.Cause(ctx)
+			if cause == nil {
+				cause = context.Canceled
+			}
+			rec.Err = cause.Error()
+			rec.Stack = ""
+			rec.FailKind = FailCancelled
+			break
 		}
 		retry := runOnce(ctx, op, dep, cl, locIdx, runIdx, attempt, opts)
 		retry.Attempts = attempt + 1
@@ -429,6 +448,7 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 	if testHookPanic != nil && testHookPanic(dep.Area.ID, locIdx, runIdx, attempt) {
 		panic("injected test failure")
 	}
+	parent := ctx
 	if opts.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
@@ -507,7 +527,7 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 	}
 	if abort != nil {
 		rec.Err = abort.Error()
-		rec.FailKind = failKindFor(abort)
+		rec.FailKind = failKindFor(abort, parent, opts.RunTimeout > 0)
 		rec.Timeline = nil
 		rec.Analysis = core.Analysis{}
 		rec.Speeds = nil
@@ -551,9 +571,15 @@ func normalizeSalvage(sal *sig.Salvage) *sig.Salvage {
 	return sal
 }
 
-// failKindFor maps a context abort error to its failure kind.
-func failKindFor(err error) FailureKind {
-	if errors.Is(err, context.DeadlineExceeded) {
+// failKindFor maps a context abort error to its failure kind. A
+// DeadlineExceeded is FailDeadline only when it came from the per-run
+// timeout: parent is the study context as runOnce received it (before
+// the RunTimeout wrap), and if parent is itself done the whole study
+// is shutting down — e.g. RunStudyContext under context.WithTimeout —
+// so the run is FailCancelled and a resumed study re-executes it
+// instead of replaying a bogus permanent failure.
+func failKindFor(err error, parent context.Context, perRunTimeout bool) FailureKind {
+	if perRunTimeout && parent.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
 		return FailDeadline
 	}
 	return FailCancelled

@@ -75,6 +75,13 @@ type runner struct {
 
 // fail records the first engine error and cancels the study.
 func (r *runner) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failLocked(err)
+}
+
+// failLocked is fail for callers already holding r.mu.
+func (r *runner) failLocked(err error) {
 	if r.failErr == nil {
 		r.failErr = err
 	}
@@ -184,7 +191,7 @@ func (r *runner) complete(d *delivery, slot int, key string, rec *Record) {
 	if rec.FailKind != FailCancelled && r.jr != nil && !r.crashed && r.failErr == nil {
 		if _, already := r.done[key]; !already {
 			if err := r.appendLocked(key, rec); err != nil {
-				r.fail(err)
+				r.failLocked(err)
 				return
 			}
 		}
@@ -211,7 +218,7 @@ func (r *runner) complete(d *delivery, slot int, key string, rec *Record) {
 		}
 		for _, s := range r.sinks {
 			if err := s.Record(it.rec); err != nil {
-				r.fail(fmt.Errorf("campaign: sink: %w", err))
+				r.failLocked(fmt.Errorf("campaign: sink: %w", err))
 				return
 			}
 		}
@@ -253,7 +260,7 @@ func (r *runner) beginArea(spec deploy.AreaSpec, dep *deploy.Deployment) {
 	}
 	for _, s := range r.sinks {
 		if err := s.BeginArea(spec, dep); err != nil {
-			r.fail(fmt.Errorf("campaign: sink: %w", err))
+			r.failLocked(fmt.Errorf("campaign: sink: %w", err))
 			return
 		}
 	}

@@ -233,6 +233,33 @@ func TestCancelDrainsGracefully(t *testing.T) {
 	}
 }
 
+// TestStudyDeadlineResumesByteIdentical: a checkpointed study aborted
+// by a study-wide context deadline must not journal its interrupted
+// runs as permanent deadline failures; resuming re-executes them and
+// converges on the uninterrupted study.
+func TestStudyDeadlineResumesByteIdentical(t *testing.T) {
+	opts := tinyOpts()
+	want := RunOperator(policy.OPT(), opts)
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	interrupted := opts
+	interrupted.Checkpoint = path
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := RunOperatorContext(ctx, policy.OPT(), interrupted); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("setup: err = %v, want context.DeadlineExceeded", err)
+	}
+	st, sal, err := resumeOperator(t, opts, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sal.Clean() {
+		t.Fatalf("journal unexpectedly damaged: %s", sal.Summary())
+	}
+	if !reflect.DeepEqual(want.Areas, st.Areas) {
+		t.Fatal("resume after a study-wide deadline diverged from the uninterrupted study")
+	}
+}
+
 // TestDeadlineRecord: an immediately-expiring per-run deadline yields
 // a typed, final failure record and per-kind counters.
 func TestDeadlineRecord(t *testing.T) {
@@ -282,7 +309,9 @@ func TestCancelledRecordKind(t *testing.T) {
 }
 
 // TestRetryBackoffIsContextAware: cancellation during the backoff
-// sleep stops retrying and the panic record stands.
+// sleep stops retrying and yields a cancelled record — not the interim
+// panic, which would be checkpointed as final although an
+// uninterrupted study would have retried it.
 func TestRetryBackoffIsContextAware(t *testing.T) {
 	opts := tinyOpts()
 	opts.RetryBackoff = time.Hour
@@ -298,8 +327,33 @@ func TestRetryBackoffIsContextAware(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Fatalf("backoff ignored cancellation (%v)", elapsed)
 	}
-	if rec.FailKind != FailPanic || rec.Attempts != 1 {
-		t.Fatalf("rec = kind %v attempts %d; want the un-retried panic record", rec.FailKind, rec.Attempts)
+	if rec.FailKind != FailCancelled || rec.Attempts != 1 {
+		t.Fatalf("rec = kind %v attempts %d; want a cancelled record so resume re-runs with the full retry budget",
+			rec.FailKind, rec.Attempts)
+	}
+	if rec.Stack != "" {
+		t.Fatal("cancelled-backoff record must not carry the interim panic stack")
+	}
+}
+
+// TestStudyDeadlineIsCancelled: expiry of the *study* context — even
+// though it surfaces as context.DeadlineExceeded — must classify as
+// FailCancelled, not FailDeadline: such runs have no durable result
+// and a resumed study re-executes them. FailDeadline is reserved for
+// the per-run RunTimeout firing while the study is live.
+func TestStudyDeadlineIsCancelled(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	spec := areaSpec(t, "A1")
+	dep := deploy.Build(policy.OPT(), spec, opts.Seed+1)
+	for _, runTimeout := range []time.Duration{0, time.Hour} {
+		opts.RunTimeout = runTimeout
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		rec := ExecuteRunContext(ctx, policy.OPT(), dep, dep.Clusters[0], 0, 0, opts)
+		cancel()
+		if rec.FailKind != FailCancelled {
+			t.Fatalf("RunTimeout=%v: FailKind = %v, want FailCancelled for a study-wide deadline",
+				runTimeout, rec.FailKind)
+		}
 	}
 }
 

@@ -8,11 +8,15 @@
 // sits at the leaf of the layering table. Durability comes from the
 // format, not from fsync discipline: every line carries a CRC-32
 // (IEEE) of its key and payload, so a crash mid-append leaves at worst
-// one torn tail line that Open detects and truncates away. Salvage is
+// one torn tail line that Open detects — the tail is truncated away
+// once the caller commits to the journal by appending. Salvage is
 // strictly prefix-based: the longest run of consecutively valid lines
 // survives and everything after the first damaged line is discarded,
 // because entries after a corrupt region cannot be trusted to describe
-// the same journal generation.
+// the same journal generation. An open journal holds an exclusive
+// advisory file lock, so a second process cannot interleave appends;
+// the kernel drops the lock when the process dies, so a killed
+// campaign never leaves a stale lock behind.
 package checkpoint
 
 import (
@@ -20,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 )
@@ -78,39 +83,44 @@ func checksum(key string, payload []byte) string {
 }
 
 // Journal is an open checkpoint file positioned for appending. Append
-// is safe for concurrent use.
+// is safe for concurrent use within the process, and the file carries
+// an exclusive advisory lock against other processes for the journal's
+// lifetime.
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	end  int64 // length of the valid prefix; next append lands here
+	tail int64 // damaged bytes past end, truncated on the first commit
 }
 
-// Open opens (creating if absent) the journal at path, validates the
-// existing content line by line, truncates the file to the longest
-// valid prefix, and returns the surviving entries in file order plus a
-// salvage report. The returned journal is positioned to append after
-// the valid prefix.
+// Open opens (creating if absent) the journal at path, takes an
+// exclusive advisory lock on it, validates the existing content line
+// by line, and returns the entries of the longest valid prefix in file
+// order plus a salvage report. Open itself never mutates the file: a
+// damaged tail is only truncated away when the caller commits to the
+// journal by appending (or syncing), so a journal that is merely
+// inspected — or refused by the caller after the header check — is
+// left byte-for-byte as found. A journal already locked by another
+// process is an error, so two campaigns can never interleave appends
+// into one file.
 func Open(path string) (*Journal, []Entry, *Salvage, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, nil, fmt.Errorf("checkpoint: %w", err)
-	}
-	entries, validBytes, sal := scan(data)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	if int64(len(data)) > validBytes {
-		if err := f.Truncate(validBytes); err != nil {
-			f.Close()
-			return nil, nil, nil, fmt.Errorf("checkpoint: truncating damaged tail: %w", err)
-		}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("checkpoint: journal %s: %w", path, err)
 	}
-	if _, err := f.Seek(validBytes, 0); err != nil {
+	data, err := io.ReadAll(f)
+	if err != nil {
 		f.Close()
 		return nil, nil, nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Journal{f: f, path: path}, entries, sal, nil
+	entries, validBytes, sal := scan(data)
+	j := &Journal{f: f, path: path, end: validBytes, tail: int64(len(data)) - validBytes}
+	return j, entries, sal, nil
 }
 
 // scan walks the file content, returning the entries of the longest
@@ -155,7 +165,8 @@ func countLines(tail []byte) int {
 // Append marshals payload and appends one checksummed entry under key.
 // The line is written with a single Write call and no userspace
 // buffering, so a crash between appends never tears an already-written
-// entry.
+// entry. The first append commits the journal: a damaged tail found by
+// Open is truncated away here, immediately before the new line lands.
 func (j *Journal) Append(key string, payload any) error {
 	p, err := json.Marshal(payload)
 	if err != nil {
@@ -171,23 +182,46 @@ func (j *Journal) Append(key string, payload any) error {
 	if j.f == nil {
 		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
 	}
-	if _, err := j.f.Write(buf); err != nil {
+	if err := j.truncateTailLocked(); err != nil {
+		return err
+	}
+	if _, err := j.f.WriteAt(buf, j.end); err != nil {
 		return fmt.Errorf("checkpoint: appending to %s: %w", j.path, err)
 	}
+	j.end += int64(len(buf))
 	return nil
 }
 
-// Sync forces the journal contents to stable storage.
+// truncateTailLocked discards the damaged tail left pending by Open.
+// Callers hold j.mu.
+func (j *Journal) truncateTailLocked() error {
+	if j.tail <= 0 {
+		return nil
+	}
+	if err := j.f.Truncate(j.end); err != nil {
+		return fmt.Errorf("checkpoint: truncating damaged tail of %s: %w", j.path, err)
+	}
+	j.tail = 0
+	return nil
+}
+
+// Sync forces the journal contents to stable storage. Like Append it
+// is a commit point: a pending damaged tail is truncated first.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return nil
 	}
+	if err := j.truncateTailLocked(); err != nil {
+		return err
+	}
 	return j.f.Sync()
 }
 
-// Close releases the journal file. Further Appends fail.
+// Close releases the journal file and, with it, the advisory lock.
+// Further Appends fail. A damaged tail never committed away stays on
+// disk and is re-salvaged identically by the next Open.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -80,10 +80,11 @@ func TestDuplicateKeysKeptInOrder(t *testing.T) {
 		}
 	}
 	j.Close()
-	_, entries, _, err := Open(path)
+	j2, entries, _, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer j2.Close()
 	if len(entries) != 3 {
 		t.Fatalf("entries = %d, want 3 (duplicates must be preserved)", len(entries))
 	}
@@ -119,15 +120,20 @@ func TestTornTailTruncated(t *testing.T) {
 	if !strings.Contains(sal.Summary(), "salvaged") {
 		t.Fatalf("summary = %q", sal.Summary())
 	}
-	// The damaged tail is gone from disk and appending resumes cleanly.
+	// Open alone must not mutate the file; the first append commits the
+	// journal, truncating the torn tail, and appending resumes cleanly.
+	if fi, _ := os.Stat(path); fi.Size() != int64(len(data)-3) {
+		t.Fatalf("Open mutated a journal it only inspected: %d bytes", fi.Size())
+	}
 	if err := j.Append("replacement", payload{N: 99}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
-	_, entries, sal, err = Open(path)
+	j2, entries, sal, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer j2.Close()
 	if !sal.Clean() || len(entries) != 5 {
 		t.Fatalf("after repair: %d entries, %s", len(entries), sal.Summary())
 	}
@@ -161,8 +167,17 @@ func TestGarbledMiddleLineStopsPrefix(t *testing.T) {
 	if sal.LinesDropped != 3 {
 		t.Fatalf("LinesDropped = %d, want 3", sal.LinesDropped)
 	}
+	// The garbled tail survives the open untouched — a journal the
+	// caller ends up refusing must come back byte-identical — and is
+	// only discarded when an append (or sync) commits the journal.
+	if fi, _ := os.Stat(path); fi.Size() != int64(len(data)) {
+		t.Fatalf("Open mutated an uncommitted journal: %d bytes", fi.Size())
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	if fi, _ := os.Stat(path); fi.Size() != int64(len(lines[0])+len(lines[1])) {
-		t.Fatalf("file not truncated to valid prefix: %d bytes", fi.Size())
+		t.Fatalf("commit did not truncate to the valid prefix: %d bytes", fi.Size())
 	}
 }
 
@@ -177,13 +192,14 @@ func TestFaultInjectedJournalSalvaged(t *testing.T) {
 		t.Fatal(err)
 	}
 	orig := map[string]string{}
-	_, entries, _, err := Open(path)
+	j0, entries, _, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
 		orig[e.Key] = string(e.Payload)
 	}
+	j0.Close() // release the lock before the salvage loop reopens the path
 
 	corrupted := false
 	for seed := int64(1); seed <= 3; seed++ {
@@ -210,10 +226,11 @@ func TestFaultInjectedJournalSalvaged(t *testing.T) {
 			t.Fatal(err)
 		}
 		j.Close()
-		_, again, sal2, err := Open(path)
+		j2, again, sal2, err := Open(path)
 		if err != nil {
 			t.Fatal(err)
 		}
+		j2.Close()
 		if !sal2.Clean() {
 			t.Fatalf("seed %d: reopen after salvage+append not clean: %s", seed, sal2.Summary())
 		}

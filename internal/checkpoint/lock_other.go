@@ -1,0 +1,10 @@
+//go:build !unix
+
+package checkpoint
+
+import "os"
+
+// lockFile is a no-op where advisory file locks are unavailable; the
+// journal then relies on the caller not pointing two processes at the
+// same file.
+func lockFile(f *os.File) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory flock on f without blocking.
+// flock is tied to the open file description, so the kernel releases
+// it when the journal is closed or the process dies — a SIGKILLed
+// campaign never leaves a stale lock behind, which matters because
+// the whole point of the journal is surviving exactly such kills.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errors.New("locked by another process")
+	}
+	return err
+}

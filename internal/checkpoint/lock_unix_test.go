@@ -1,0 +1,37 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenExcludesSecondOpener: while a journal is open, a second Open
+// of the same path must fail instead of interleaving appends — flock
+// conflicts across open file descriptions, so this holds between
+// processes and is observable within one.
+func TestOpenExcludesSecondOpener(t *testing.T) {
+	path := writeEntries(t, 2)
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(path); err == nil {
+		t.Fatal("second Open of a live journal must fail")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("err = %v, want a lock conflict", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the lock; the journal is reusable.
+	j2, entries, _, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer j2.Close()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+}
