@@ -1,16 +1,27 @@
 // Command loopvet runs the repo's custom static-analysis suite — the
-// determinism, layering, exhaustive, floatcmp, unitcheck and rngflow
-// analyzers — over the module. It is the machine check behind the
-// invariants the compiler cannot see: bit-reproducible replay from a
-// seed, the §4 log-only methodology boundary, exhaustive handling of
-// the §5 cause taxonomy, the typed-unit discipline of internal/units,
-// and rand-derived data never escaping through unordered containers.
+// determinism, layering, exhaustive, floatcmp, unitcheck, rngflow,
+// ctxflow, lockcheck and hotalloc analyzers — over the module. It is
+// the machine check behind the invariants the compiler cannot see:
+// bit-reproducible replay from a seed, the §4 log-only methodology
+// boundary, exhaustive handling of the §5 cause taxonomy, the
+// typed-unit discipline of internal/units, rand-derived data never
+// escaping through unordered containers, context propagation,
+// annotated mutex discipline, and allocation-free hot paths.
 //
 // Usage:
 //
-//	go run ./cmd/loopvet ./...           lint the whole module
-//	go run ./cmd/loopvet -json ./...     machine-readable findings for CI
-//	go run ./cmd/loopvet -waivers ./...  list the //lint:ignore inventory
+//	go run ./cmd/loopvet ./...                 lint the whole module
+//	go run ./cmd/loopvet -json ./...           machine-readable output for CI
+//	go run ./cmd/loopvet -waivers ./...        list the //lint:ignore inventory
+//	go run ./cmd/loopvet -only lockcheck ./... run a subset of the suite
+//	go run ./cmd/loopvet -skip hotalloc ./...  run all but a subset
+//
+// -only and -skip take comma-separated analyzer names from the usage
+// listing; naming an unknown analyzer is a usage error. An analyzer
+// kept by the selection still pulls in its fact-producing dependencies
+// (ctxflow runs ctxlaunch) even when they are not named. With -json
+// the findings mode emits an object {"analyzers": [...], "findings":
+// [...]} so CI can see which analyzers actually gated the run.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings
 // can be waived in source with
@@ -35,6 +46,7 @@ import (
 	"regexp"
 	"strings"
 
+	"github.com/mssn/loopscope/internal/lint/analysis"
 	"github.com/mssn/loopscope/internal/lint/checkers"
 	"github.com/mssn/loopscope/internal/lint/driver"
 )
@@ -48,10 +60,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("loopvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON output")
 	waiversOut := fs.Bool("waivers", false, "list the //lint:ignore waiver inventory instead of findings")
+	only := fs.String("only", "", "comma-separated analyzer names to run; everything else is skipped")
+	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: loopvet [-json] [-waivers] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: loopvet [-json] [-waivers] [-only names] [-skip names] [packages]\n\nAnalyzers:\n")
 		for _, a := range checkers.Suite("") {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -64,11 +78,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loopvet:", err)
 		return 2
 	}
+	analyzers, err := selectAnalyzers(checkers.Suite(modPath), *only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "loopvet:", err)
+		return 2
+	}
 	res, err := driver.RunDetail(driver.Options{
 		ModulePath: modPath,
 		ModuleRoot: root,
 		Patterns:   fs.Args(),
-		Analyzers:  checkers.Suite(modPath),
+		Analyzers:  analyzers,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "loopvet:", err)
@@ -102,12 +121,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []driver.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		names := make([]string, len(analyzers))
+		for i, a := range analyzers {
+			names[i] = a.Name
+		}
+		report := struct {
+			Analyzers []string         `json:"analyzers"`
+			Findings  []driver.Finding `json:"findings"`
+		}{names, findings}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(stderr, "loopvet:", err)
 			return 2
 		}
@@ -120,6 +147,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers applies the -only and -skip selections to the suite.
+// Names must match suite analyzers exactly; an unknown name is a usage
+// error (a typo silently running the full suite — or none of it —
+// would defeat the point of the gate). Fact-producing dependencies of
+// a kept analyzer are pulled back in by the driver's Requires closure
+// even when the selection does not name them.
+func selectAnalyzers(suite []*analysis.Analyzer, only, skip string) ([]*analysis.Analyzer, error) {
+	known := map[string]bool{}
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	parse := func(flagName, list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (see loopvet -h for the list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)

@@ -53,21 +53,100 @@ func TestRunJSON(t *testing.T) {
 	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
 		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
 	}
-	var findings []struct {
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, out.String())
+	}
+	if len(report.Findings) != 5 {
+		t.Errorf("got %d JSON findings, want 5", len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	// The full suite ran, and the report says so.
+	for _, want := range []string{"determinism", "ctxflow", "lockcheck", "hotalloc"} {
+		if !contains(report.Analyzers, want) {
+			t.Errorf("analyzers list %v is missing %s", report.Analyzers, want)
+		}
+	}
+}
+
+// jsonReport mirrors the -json findings-mode object.
+type jsonReport struct {
+	Analyzers []string `json:"analyzers"`
+	Findings  []struct {
 		Analyzer string `json:"analyzer"`
 		File     string `json:"file"`
 		Line     int    `json:"line"`
 		Message  string `json:"message"`
+	} `json:"findings"`
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
 	}
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
-		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out.String())
+	return false
+}
+
+// TestRunOnly narrows the suite to one analyzer: only its findings
+// gate the run, and the JSON report names exactly that analyzer.
+func TestRunOnly(t *testing.T) {
+	bad, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(findings) != 5 {
-		t.Errorf("got %d JSON findings, want 5", len(findings))
+	chdir(t, bad)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-only", "determinism", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
 	}
-	for _, f := range findings {
-		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
-			t.Errorf("incomplete finding: %+v", f)
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, out.String())
+	}
+	if len(report.Analyzers) != 1 || report.Analyzers[0] != "determinism" {
+		t.Errorf("analyzers = %v, want [determinism]", report.Analyzers)
+	}
+	if len(report.Findings) != 2 {
+		t.Errorf("got %d findings, want the 2 determinism ones", len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer != "determinism" {
+			t.Errorf("finding from %s leaked through -only determinism", f.Analyzer)
+		}
+	}
+}
+
+// TestRunSkip removes the analyzers that fire on the seeded module:
+// with all of them skipped the run is clean.
+func TestRunSkip(t *testing.T) {
+	bad, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, bad)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-skip", "determinism,layering,exhaustive,floatcmp", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output: %s%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestRunUnknownAnalyzer checks that a typo in a selection flag is a
+// usage error, not a silently mis-scoped run.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	for _, flag := range []string{"-only", "-skip"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{flag, "nosuch", "./..."}, &out, &errOut); code != 2 {
+			t.Fatalf("%s nosuch: exit code = %d, want 2", flag, code)
+		}
+		if !strings.Contains(errOut.String(), `unknown analyzer "nosuch"`) {
+			t.Errorf("%s nosuch: stderr %q is missing the unknown-analyzer error", flag, errOut.String())
 		}
 	}
 }

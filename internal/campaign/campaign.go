@@ -303,8 +303,8 @@ func RunOperator(op *policy.Operator, opts Options) *Study {
 // study-level concerns and are not consulted here.
 func RunArea(op *policy.Operator, spec deploy.AreaSpec, opts Options) *AreaResult {
 	opts.Checkpoint, opts.Sink = "", nil
-	r := &runner{ctx: context.Background(), opts: opts.withDefaults()}
-	return r.runArea(op, spec, true)
+	r := &runner{opts: opts.withDefaults()}
+	return r.runArea(context.Background(), op, spec, true)
 }
 
 // ExecuteRun performs a single run under a background context; see

@@ -55,11 +55,12 @@ func runKey(op, area string, locIdx, runIdx int, seed int64) string {
 	return fmt.Sprintf("%s/%s/%d/%d/%d", op, area, locIdx, runIdx, seed)
 }
 
-// runner is the per-study engine state shared by the areas: the study
-// context, the checkpoint journal with its replay map, the sinks, and
-// the crash fault point.
+// runner is the per-study engine state shared by the areas: the
+// checkpoint journal with its replay map, the sinks, and the crash
+// fault point. The study context is not stored here — it is threaded
+// through runArea/executeJob as a parameter, so every call site states
+// which cancellation scope it runs under.
 type runner struct {
-	ctx    context.Context
 	cancel context.CancelCauseFunc // nil for bare RunArea/wrapper use
 	opts   Options
 	sinks  []Sink
@@ -67,13 +68,15 @@ type runner struct {
 	done   map[string]*Record // journal replay: run key → decoded record
 
 	mu          sync.Mutex
-	appended    int   // checkpoint record appends (header excluded)
-	crashed     bool  // CrashAfter fired: simulate death, stop persisting
-	stopDeliver bool  // delivery fence after crash/cancel/sink error
-	failErr     error // first journal or sink error
+	appended    int   // guarded by: mu — checkpoint record appends (header excluded)
+	crashed     bool  // guarded by: mu — CrashAfter fired: simulate death, stop persisting
+	stopDeliver bool  // guarded by: mu — delivery fence after crash/cancel/sink error
+	failErr     error // guarded by: mu — first journal or sink error
 }
 
 // fail records the first engine error and cancels the study.
+//
+// locks: mu
 func (r *runner) fail(err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -81,6 +84,8 @@ func (r *runner) fail(err error) {
 }
 
 // failLocked is fail for callers already holding r.mu.
+//
+// requires: mu
 func (r *runner) failLocked(err error) {
 	if r.failErr == nil {
 		r.failErr = err
@@ -93,14 +98,16 @@ func (r *runner) failLocked(err error) {
 
 // err returns the engine's terminal error: a journal/sink failure, the
 // injected crash, or the (possibly parent) context cancellation.
-func (r *runner) err() error {
+//
+// locks: mu
+func (r *runner) err(ctx context.Context) error {
 	r.mu.Lock()
 	failErr := r.failErr
 	r.mu.Unlock()
 	if failErr != nil {
 		return failErr
 	}
-	if err := context.Cause(r.ctx); err != nil {
+	if err := context.Cause(ctx); err != nil {
 		return err
 	}
 	return nil
@@ -185,6 +192,8 @@ type deliveryItem struct {
 // complete files one finished run: it is checkpointed immediately (in
 // completion order — the keyed replay makes order irrelevant) and
 // delivered to the sinks in slot order through the reorder window.
+//
+// locks: mu
 func (r *runner) complete(d *delivery, slot int, key string, rec *Record) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -228,6 +237,8 @@ func (r *runner) complete(d *delivery, slot int, key string, rec *Record) {
 
 // appendLocked persists one record and drives the CrashAfter fault
 // point. Callers hold r.mu.
+//
+// requires: mu
 func (r *runner) appendLocked(key string, rec *Record) error {
 	b, err := EncodeRecord(rec)
 	if err != nil {
@@ -252,6 +263,8 @@ func (r *runner) appendLocked(key string, rec *Record) error {
 }
 
 // beginArea announces the area to every sink.
+//
+// locks: mu
 func (r *runner) beginArea(spec deploy.AreaSpec, dep *deploy.Deployment) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -269,7 +282,7 @@ func (r *runner) beginArea(spec deploy.AreaSpec, dep *deploy.Deployment) {
 // runArea executes all runs of one area on the worker pool; see
 // RunArea for the ordering contract. With retain false the records are
 // streamed to the sinks and released instead of materialized.
-func (r *runner) runArea(op *policy.Operator, spec deploy.AreaSpec, retain bool) *AreaResult {
+func (r *runner) runArea(ctx context.Context, op *policy.Operator, spec deploy.AreaSpec, retain bool) *AreaResult {
 	opts := r.opts
 	dep := deploy.Build(op, spec, opts.Seed+1)
 	res := &AreaResult{Spec: spec, Dep: dep}
@@ -307,7 +320,7 @@ func (r *runner) runArea(op *policy.Operator, spec deploy.AreaSpec, retain bool)
 			defer wg.Done()
 			for j := range ch {
 				key := runKey(op.Name, spec.ID, j.li, j.ri, opts.Seed)
-				rec := r.executeJob(op, dep, dep.Clusters[j.li], j.li, j.ri, key)
+				rec := r.executeJob(ctx, op, dep, dep.Clusters[j.li], j.li, j.ri, key)
 				if retain {
 					res.Records[j.slot] = rec
 				}
@@ -319,7 +332,7 @@ dispatch:
 	for _, j := range jobs {
 		select {
 		case ch <- j:
-		case <-r.ctx.Done():
+		case <-ctx.Done():
 			break dispatch // graceful drain: stop handing out work
 		}
 	}
@@ -339,8 +352,8 @@ dispatch:
 
 // executeJob resolves one run: from the replay map when the journal
 // already holds it, by execution otherwise.
-func (r *runner) executeJob(op *policy.Operator, dep *deploy.Deployment, cl *deploy.Cluster,
-	locIdx, runIdx int, key string) *Record {
+func (r *runner) executeJob(ctx context.Context, op *policy.Operator, dep *deploy.Deployment,
+	cl *deploy.Cluster, locIdx, runIdx int, key string) *Record {
 	if rec, ok := r.done[key]; ok {
 		if c := r.opts.Metrics; c != nil {
 			c.Add("campaign.runs.resumed", 1)
@@ -348,7 +361,7 @@ func (r *runner) executeJob(op *policy.Operator, dep *deploy.Deployment, cl *dep
 		}
 		return rec
 	}
-	return ExecuteRunContext(r.ctx, op, dep, cl, locIdx, runIdx, r.opts)
+	return ExecuteRunContext(ctx, op, dep, cl, locIdx, runIdx, r.opts)
 }
 
 // runStudy drives the whole study through a runner: journal replay,
@@ -375,21 +388,21 @@ func runStudy(ctx context.Context, opts Options, specs []deploy.AreaSpec,
 	}
 	cctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	r.ctx, r.cancel = cctx, cancel
+	r.cancel = cancel
 	st := &Study{Opts: opts}
 	for _, spec := range specs {
-		if r.err() != nil {
+		if r.err(cctx) != nil {
 			break
 		}
 		op := policy.ByName(spec.Operator)
-		st.Areas = append(st.Areas, r.runArea(op, spec, retain))
+		st.Areas = append(st.Areas, r.runArea(cctx, op, spec, retain))
 	}
 	if r.jr != nil {
-		if err := r.jr.Sync(); err != nil && r.err() == nil {
+		if err := r.jr.Sync(); err != nil && r.err(cctx) == nil {
 			r.fail(err)
 		}
 	}
-	return st, sal, r.err()
+	return st, sal, r.err(cctx)
 }
 
 // RunContext executes the full study under ctx, honouring the

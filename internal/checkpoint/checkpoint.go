@@ -88,10 +88,10 @@ func checksum(key string, payload []byte) string {
 // lifetime.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
-	path string
-	end  int64 // length of the valid prefix; next append lands here
-	tail int64 // damaged bytes past end, truncated on the first commit
+	f    *os.File // guarded by: mu — nil once Close has released the file
+	path string   // immutable after Open
+	end  int64    // guarded by: mu — length of the valid prefix; next append lands here
+	tail int64    // guarded by: mu — damaged bytes past end, truncated on the first commit
 }
 
 // Open opens (creating if absent) the journal at path, takes an
@@ -167,6 +167,8 @@ func countLines(tail []byte) int {
 // buffering, so a crash between appends never tears an already-written
 // entry. The first append commits the journal: a damaged tail found by
 // Open is truncated away here, immediately before the new line lands.
+//
+// locks: mu
 func (j *Journal) Append(key string, payload any) error {
 	p, err := json.Marshal(payload)
 	if err != nil {
@@ -193,7 +195,8 @@ func (j *Journal) Append(key string, payload any) error {
 }
 
 // truncateTailLocked discards the damaged tail left pending by Open.
-// Callers hold j.mu.
+//
+// requires: mu
 func (j *Journal) truncateTailLocked() error {
 	if j.tail <= 0 {
 		return nil
@@ -207,6 +210,8 @@ func (j *Journal) truncateTailLocked() error {
 
 // Sync forces the journal contents to stable storage. Like Append it
 // is a commit point: a pending damaged tail is truncated first.
+//
+// locks: mu
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -222,6 +227,8 @@ func (j *Journal) Sync() error {
 // Close releases the journal file and, with it, the advisory lock.
 // Further Appends fail. A damaged tail never committed away stays on
 // disk and is re-salvaged identically by the next Open.
+//
+// locks: mu
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

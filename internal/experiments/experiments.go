@@ -44,7 +44,7 @@ type Context struct {
 	Opts campaign.Options
 
 	mu    sync.Mutex
-	study *campaign.Study
+	study *campaign.Study // guarded by: mu — lazily materialized by Study
 
 	denseOnce sync.Once
 	densePts  []campaign.DensePoint
@@ -70,6 +70,8 @@ func NewContextWithStudy(st *campaign.Study) *Context {
 }
 
 // Study lazily runs the sparse measurement study.
+//
+// locks: mu
 func (c *Context) Study() *campaign.Study {
 	c.mu.Lock()
 	defer c.mu.Unlock()

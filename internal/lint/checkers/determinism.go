@@ -50,8 +50,9 @@ func Determinism(scope []string) *analysis.Analyzer {
 		Name: "determinism",
 		Doc: "forbid wall-clock reads (time.Now/Since/Until), real timers " +
 			"(time.NewTimer/NewTicker/Tick/After/AfterFunc), global math/rand draws, " +
-			"and constant RNG seeds in simulation/analysis packages; every source of " +
-			"randomness must be constructed from an explicit seed parameter (DESIGN.md §Determinism)",
+			"constant RNG seeds, and Gosched-free time.Sleep busy-wait loops in " +
+			"simulation/analysis packages; every source of randomness must be " +
+			"constructed from an explicit seed parameter (DESIGN.md §Determinism)",
 	}
 	a.Run = func(pass *analysis.Pass) error {
 		if !pathInScope(pass.Path, scope) {
@@ -64,6 +65,10 @@ func Determinism(scope []string) *analysis.Analyzer {
 					checkSelector(pass, n)
 				case *ast.CallExpr:
 					checkConstSeed(pass, n)
+				case *ast.ForStmt:
+					checkBusyWait(pass, n.Body)
+				case *ast.RangeStmt:
+					checkBusyWait(pass, n.Body)
 				}
 				return true
 			})
@@ -71,6 +76,46 @@ func Determinism(scope []string) *analysis.Analyzer {
 		return nil
 	}
 	return a
+}
+
+// checkBusyWait flags loops that spin on time.Sleep without ever
+// yielding through runtime.Gosched: in a simulated-time package such a
+// loop couples progress to the machine scheduler (how much real time a
+// sleep actually takes), so the run's event interleaving is not
+// reproducible from its seed. Polling loops that truly must sleep
+// belong outside the determinism scope; inside it, the loop must
+// either advance simulated time or yield deterministically.
+func checkBusyWait(pass *analysis.Pass, body *ast.BlockStmt) {
+	var sleep *ast.CallExpr
+	yields := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops are judged on their own bodies
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncObj(pass, sel)
+			if !ok {
+				return true
+			}
+			if pkgPath == "time" && name == "Sleep" && sleep == nil {
+				sleep = n
+			}
+			if pkgPath == "runtime" && name == "Gosched" {
+				yields = true
+			}
+		}
+		return true
+	})
+	if sleep != nil && !yields {
+		pass.Reportf(sleep.Pos(),
+			"time.Sleep busy-wait loop without runtime.Gosched couples the run to the machine scheduler; advance simulated time, or yield with runtime.Gosched (DESIGN.md §Determinism)")
+	}
 }
 
 // pathInScope reports whether the package path matches a scope suffix.

@@ -115,8 +115,9 @@ var ApprovedFloatCmp = []string{
 }
 
 // Suite returns the production loopvet analyzer set for the module.
-// unitdecl is pulled in through unitcheck's Requires edge, so the
-// driver runs it first and its facts are in place.
+// unitdecl and ctxlaunch are pulled in through unitcheck's and
+// ctxflow's Requires edges, so the driver runs them first and their
+// facts are in place.
 func Suite(modulePath string) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Determinism(DeterminismScope),
@@ -125,5 +126,8 @@ func Suite(modulePath string) []*analysis.Analyzer {
 		Floatcmp(ApprovedFloatCmp),
 		UnitCheck(UnitDecl()),
 		RngFlow(),
+		CtxFlow(CtxLaunch()),
+		LockCheck(),
+		HotAlloc(),
 	}
 }

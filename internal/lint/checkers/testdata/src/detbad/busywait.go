@@ -1,0 +1,24 @@
+// busywait.go seeds the busy-wait flagging path: a loop spinning on
+// time.Sleep without ever yielding through runtime.Gosched couples the
+// run's progress to how the machine scheduler honors the sleep.
+package detbad
+
+import "time"
+
+func pollUntil(done *bool) {
+	for !*done {
+		time.Sleep(time.Millisecond) // want "time.Sleep busy-wait loop without runtime.Gosched"
+	}
+}
+
+func drainThenPoll(ch chan int, done *bool) {
+	for range ch { // draining a channel is fine on its own
+		_ = done
+	}
+	for !*done {
+		doWork()
+		time.Sleep(10 * time.Millisecond) // want "time.Sleep busy-wait loop without runtime.Gosched"
+	}
+}
+
+func doWork() {}

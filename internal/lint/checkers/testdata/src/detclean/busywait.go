@@ -1,0 +1,24 @@
+// busywait.go shows the sanctioned polling shapes: a sleep loop that
+// yields through runtime.Gosched each pass, and a sleepless loop (no
+// scheduler coupling to flag in the first place).
+package detclean
+
+import (
+	"runtime"
+	"time"
+)
+
+func yieldingPoll(done *bool) {
+	for !*done {
+		time.Sleep(time.Millisecond)
+		runtime.Gosched()
+	}
+}
+
+func spinCount(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

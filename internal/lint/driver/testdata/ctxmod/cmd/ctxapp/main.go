@@ -1,0 +1,19 @@
+// Command ctxapp proves the package-main exemption: main owns the root
+// of the context tree, so building one here is the point.
+package main
+
+import (
+	"context"
+
+	"ctxmod.example/internal/launch"
+)
+
+func main() {
+	ctx := context.Background()
+	launch.Spawn(ctx, func(context.Context) {})
+}
+
+// run would be flagged anywhere else; in package main it is silent.
+func run(ctx context.Context) {
+	launch.Spawn(context.Background(), func(context.Context) {})
+}

@@ -1,0 +1,3 @@
+module ctxmod.example
+
+go 1.22

@@ -1,0 +1,104 @@
+// Package app seeds every ctxflow flagging path next to the sanctioned
+// shapes that must stay silent.
+package app
+
+import (
+	"context"
+	"time"
+
+	"ctxmod.example/internal/launch"
+)
+
+// Server stores a context in a field: the lifetime violation.
+type Server struct {
+	ctx context.Context // want "struct Server stores a context.Context in a field"
+	n   int
+}
+
+// Reroot receives a context but builds a fresh root anyway.
+func Reroot(ctx context.Context) {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want "Reroot receives a context.Context but re-roots with context.Background"
+	defer cancel()
+	_ = c
+}
+
+// Todo re-roots through TODO, which is no better.
+func Todo(ctx context.Context) context.Context {
+	return context.TODO() // want "Todo receives a context.Context but re-roots with context.TODO"
+}
+
+// Detach hands a fresh root straight to a cross-package launcher: the
+// enriched diagnostic names what actually gets detached.
+func Detach(ctx context.Context) {
+	launch.Spawn(context.Background(), func(context.Context) {}) // want "handed to launch.Spawn detaches its goroutines from Detach's own context"
+}
+
+// DetachGroup proves the transitive launcher fact crossed the package
+// boundary: Group never contains a go statement itself.
+func DetachGroup(ctx context.Context, fs []func(context.Context)) {
+	launch.Group(context.Background(), fs) // want "handed to launch.Group detaches its goroutines from DetachGroup's own context"
+}
+
+// NonLauncher hands a fresh root to a callee with no launcher fact:
+// still a re-root, but the plain diagnostic.
+func NonLauncher(ctx context.Context) {
+	launch.Apply(context.Background(), func(context.Context) {}) // want "NonLauncher receives a context.Context but re-roots with context.Background"
+}
+
+// Poll blocks in a loop without ever consulting the context.
+func Poll(ctx context.Context, ch chan int) {
+	for { // want "Poll receives a context.Context but this loop blocks .time.Sleep or channel op. without observing ctx.Done"
+		<-ch
+	}
+}
+
+// Retry sleeps per attempt with no cancellation point.
+func Retry(ctx context.Context, attempt func() bool) {
+	for !attempt() { // want "Retry receives a context.Context but this loop blocks"
+		time.Sleep(time.Second)
+	}
+}
+
+// NestedBusy shows the per-loop judgment: the outer loop observes
+// ctx.Done, the inner one still blocks blindly.
+func NestedBusy(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		for i := 0; i < 3; i++ { // want "NestedBusy receives a context.Context but this loop blocks"
+			<-ch
+		}
+	}
+}
+
+// Default is the one sanctioned re-root: nil-defaulting at an API
+// boundary. Silent.
+func Default(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// PollCtx blocks but observes ctx.Done on every pass. Silent.
+func PollCtx(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// NoCtx has no context parameter, so building a root here is the
+// caller's business. Silent.
+func NoCtx(d time.Duration) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return ctx
+}

@@ -1,0 +1,26 @@
+// Package launch seeds the ctxlaunch fact closure: Spawn starts a
+// goroutine under the caller's context directly, and Group is a
+// launcher only transitively (it forwards its ctx to Spawn), which the
+// in-package fixpoint must discover regardless of declaration order.
+package launch
+
+import "context"
+
+// Group fans out over Spawn; it is declared before Spawn so the
+// fixpoint, not declaration order, makes it a launcher.
+func Group(ctx context.Context, fs []func(context.Context)) {
+	for _, f := range fs {
+		Spawn(ctx, f)
+	}
+}
+
+// Spawn runs f in a goroutine scoped by ctx.
+func Spawn(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// Apply has a ctx parameter but launches nothing: no fact, so handing
+// it a fresh root downgrades to the plain re-root diagnostic.
+func Apply(ctx context.Context, f func(context.Context)) {
+	f(ctx)
+}

@@ -1,0 +1,3 @@
+module hotmod.example
+
+go 1.22

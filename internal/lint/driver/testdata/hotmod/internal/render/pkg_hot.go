@@ -1,0 +1,13 @@
+// pkg_hot.go: the package-clause spelling of the directive marks every
+// function in this file hot without per-function annotations.
+//
+//loopvet:hot
+package render
+
+import "fmt"
+
+func headerLine(k, v string) string {
+	return fmt.Sprint(k, "=", v) // want "fmt.Sprint allocates its result"
+}
+
+var _ = headerLine

@@ -1,0 +1,85 @@
+// Package render seeds every hotalloc flagging path inside
+// //loopvet:hot scope, each next to an exempt or unmarked twin that
+// must stay silent.
+package render
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// SprintHot renders with fmt in hot scope: flagged at any loop depth.
+//
+//loopvet:hot
+func SprintHot(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates its result"
+}
+
+// SprintCold is the unmarked twin: same body, no finding.
+func SprintCold(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// CopyString converts both ways; each conversion copies.
+//
+//loopvet:hot
+func CopyString(b []byte) ([]byte, string) {
+	s := string(b)      // want "conversion copies the bytes on every call"
+	return []byte(s), s // want "conversion copies the string on every call"
+}
+
+// GrowBlind appends into a capacity-less slice per iteration.
+//
+//loopvet:hot
+func GrowBlind(items []int) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, strconv.Itoa(it)) // want "append to out inside a loop, but out was declared without capacity"
+	}
+	return out
+}
+
+// GrowSized preallocates: the sanctioned shape, silent.
+//
+//loopvet:hot
+func GrowSized(items []int) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, strconv.Itoa(it))
+	}
+	return out
+}
+
+// MapPerIter allocates a fresh map every pass, both spellings.
+//
+//loopvet:hot
+func MapPerIter(items []int) int {
+	total := 0
+	for range items {
+		seen := make(map[int]bool) // want "make.map. inside a loop allocates per iteration"
+		dup := map[int]bool{}      // want "map literal inside a loop allocates per iteration"
+		_, _ = seen, dup
+		total++
+	}
+	return total
+}
+
+// ClosurePerIter builds a capturing closure per iteration.
+//
+//loopvet:hot
+func ClosurePerIter(items []int, run func(func() int)) {
+	for _, it := range items {
+		run(func() int { return it }) // want "closure capturing it inside a loop allocates per iteration"
+	}
+}
+
+// ClosureHoisted captures nothing loop-local per iteration — the
+// literal sits outside the loop. Silent.
+//
+//loopvet:hot
+func ClosureHoisted(items []int, run func(func(int) int)) {
+	double := func(v int) int { return 2 * v }
+	for range items {
+		run(double)
+	}
+}

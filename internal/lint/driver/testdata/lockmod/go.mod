@@ -1,0 +1,3 @@
+module lockmod.example
+
+go 1.22

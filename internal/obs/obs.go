@@ -106,13 +106,15 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram counts samples into fixed buckets.
 type Histogram struct {
 	mu      sync.Mutex
-	bounds  []float64 // upper bounds, ascending
-	counts  []int64   // len(bounds)+1; the last is the +Inf overflow
-	sum     float64
-	samples int64
+	bounds  []float64 // immutable after construction; upper bounds, ascending
+	counts  []int64   // guarded by: mu — len(bounds)+1; the last is the +Inf overflow
+	sum     float64   // guarded by: mu
+	samples int64     // guarded by: mu
 }
 
 // Observe records one sample.
+//
+// locks: mu
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -131,13 +133,13 @@ func (h *Histogram) Observe(v float64) {
 // histograms, safe for concurrent use by the campaign worker pool.
 type Registry struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by: mu
+	gauges   map[string]*Gauge     // guarded by: mu
+	hists    map[string]*Histogram // guarded by: mu
 
 	// now is the span clock, injectable so tests observe deterministic
 	// durations and so observed packages never call time.Now themselves.
-	now func() time.Time
+	now func() time.Time // guarded by: mu
 }
 
 // NewRegistry returns an empty registry whose span clock is time.Now.
@@ -152,6 +154,8 @@ func NewRegistry() *Registry {
 
 // SetClock replaces the span clock (tests inject a fake for
 // deterministic span histograms).
+//
+// locks: mu
 func (r *Registry) SetClock(now func() time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -275,6 +279,8 @@ type Bucket struct {
 }
 
 // Snapshot captures the registry's current state.
+//
+// locks: mu
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -64,6 +64,8 @@ func NewEmitter(w io.Writer) *Emitter {
 
 // Emit renders one event. The first write error is returned and
 // remembered; later calls become no-ops returning it.
+//
+//loopvet:hot
 func (e *Emitter) Emit(at time.Duration, m rrc.Message) error {
 	if e.err != nil {
 		return e.err
@@ -126,6 +128,8 @@ func (l *Log) String() string {
 
 // appendEvent renders one event (header plus detail lines, all
 // newline-terminated) without intermediate allocations.
+//
+//loopvet:hot
 func appendEvent(b []byte, at time.Duration, m rrc.Message) []byte {
 	b = appendTimestamp(b, at)
 	b = append(b, ' ')
@@ -143,6 +147,8 @@ func appendEvent(b []byte, at time.Duration, m rrc.Message) []byte {
 }
 
 // appendTimestamp renders the HH:MM:SS.mmm clock.
+//
+//loopvet:hot
 func appendTimestamp(b []byte, d time.Duration) []byte {
 	ms := d.Milliseconds()
 	b = appendPadded(b, ms/3600000, 2)
@@ -173,6 +179,8 @@ func appendFloat1(b []byte, v float64) []byte {
 }
 
 // appendDetails renders the message-specific indented lines.
+//
+//loopvet:hot
 func appendDetails(b []byte, m rrc.Message) []byte {
 	switch v := m.(type) {
 	case rrc.MIB:

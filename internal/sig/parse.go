@@ -132,6 +132,8 @@ func ParseLenientObserved(r io.Reader, c obs.Collector) (*Log, *Salvage, error) 
 // parse is the shared strict/lenient parsing loop. Counters accumulate
 // in locals and flush into c once at the end, keeping the per-line path
 // free of interface calls; a parse aborted by an error flushes nothing.
+//
+//loopvet:hot
 func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 	lr := &lineReader{br: bufio.NewReaderSize(r, 64*1024), max: maxLineBytes}
 	log := &Log{Events: make([]Event, 0, 256)}
@@ -239,6 +241,8 @@ type lineReader struct {
 // next returns the following line without its terminator. When the line
 // exceeds max bytes, the prefix is returned with tooLong=true and the
 // remainder is discarded.
+//
+//loopvet:hot
 func (lr *lineReader) next() (line string, tooLong bool, err error) {
 	buf := lr.buf[:0]
 	defer func() { lr.buf = buf }()
@@ -270,7 +274,15 @@ func (lr *lineReader) next() (line string, tooLong bool, err error) {
 }
 
 // trimEOL strips a trailing "\n" or "\r\n".
+//
+//loopvet:hot
 func trimEOL(b []byte) string {
+	// This copy is the per-line allocation the ROADMAP's zero-alloc
+	// parse item exists to remove (~10.8k allocs/op in
+	// BenchmarkStreamParse); it is load-bearing today because the line
+	// outlives the reused read buffer. The waiver keeps it an explicit,
+	// inventoried debt instead of an invisible one.
+	//lint:ignore loopvet/hotalloc returned line must outlive the reused lineReader buffer; removing this copy is the ROADMAP zero-alloc parse work
 	s := string(b)
 	s = strings.TrimSuffix(s, "\n")
 	return strings.TrimSuffix(s, "\r")
@@ -288,6 +300,8 @@ type rawEvent struct {
 
 // parseHeader recognizes "<ts> NR5G RRC OTA Packet -- <CH> / <Kind>" and
 // "<ts> SYS -- EXCEPTION".
+//
+//loopvet:hot
 func parseHeader(line string) (*rawEvent, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 3 {

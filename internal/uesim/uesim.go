@@ -218,7 +218,12 @@ func RunToContext(ctx context.Context, cfg Config, sink sig.Sink) (err error) {
 
 // engine is the shared simulation state.
 type engine struct {
-	cfg     Config
+	cfg Config
+	// The engine is built inside RunToContext and discarded when it
+	// returns, so this field never outlives the call that scoped the
+	// context; emit is the single cancellation point and threading ctx
+	// through every tick helper would only obscure that.
+	//lint:ignore loopvet/ctxflow run-scoped engine, built and discarded inside RunToContext; emit is the single cancellation point
 	ctx     context.Context
 	rng     *rand.Rand
 	sink    sig.Sink
