@@ -8,7 +8,15 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
 # Pipeline benchmarks recorded by bench-baseline into BENCH_pipeline.json.
-PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|StringCorruptParse|StreamCorruptParse)$$
+PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|ParseReuse|StringCorruptParse|StreamCorruptParse)$$
+
+# Parse benchmarks whose allocs/op regressions fail bench-compare at ANY
+# growth: these parse one fixed capture, so their allocation count is
+# exactly reproducible and pins its figure with no tolerance window to
+# hide in. The corrupt-parse benchmarks stay on the normal tolerance —
+# they draw a fresh fault seed per iteration, so their allocs/op moves
+# by a count or two with b.N.
+STRICT_ALLOC_BENCH = ^Benchmark(StringParse|StreamParse|StreamParseObserved|ParseReuse)$$
 
 .PHONY: all build lint loopvet staticcheck vulncheck test crash-resume fuzz bench bench-baseline bench-compare clean
 
@@ -52,6 +60,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/sig
 	$(GO) test -run=NONE -fuzz=FuzzParseLenient$$ -fuzztime=$(FUZZTIME) ./internal/sig
 	$(GO) test -run=NONE -fuzz=FuzzStreamParity$$ -fuzztime=$(FUZZTIME) ./internal/sig
+	$(GO) test -run=NONE -fuzz=FuzzParseBytes$$ -fuzztime=$(FUZZTIME) ./internal/sig
 
 # bench is the smoke run CI performs: every benchmark compiles and
 # executes once; full-study benchmarks skip themselves under -short.
@@ -67,10 +76,12 @@ bench-baseline:
 
 # bench-compare reruns the pipeline benchmarks and diffs them against
 # the committed baseline: B/op or allocs/op growth beyond 2% fails,
-# ns/op drift is informational (wall time is machine-dependent).
+# ns/op drift is informational (wall time is machine-dependent), and
+# the parse benchmarks get zero allocs/op tolerance (-strict-allocs).
 bench-compare:
 	$(GO) test -run='^$$' -bench='$(PIPELINE_BENCH)' -benchmem -count=1 . \
-		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json
+		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json \
+			-strict-allocs '$(STRICT_ALLOC_BENCH)'
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,7 @@
 package loopscope_test
 
 import (
+	"bytes"
 	"io"
 	"strings"
 	"testing"
@@ -200,6 +201,26 @@ func BenchmarkStreamParseObserved(b *testing.B) {
 			pw.CloseWithError(em.Close())
 		}()
 		if _, err := sig.ParseObserved(pr, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseReuse measures the pooled parser's steady state: one
+// materialized capture parsed back-to-back, so every iteration after
+// the first reuses the pooled arena, scratch buffers and interning
+// tables. This is the path whose allocs/op the zero-allocation rework
+// pins — regressions here mean the pool stopped being reused.
+func BenchmarkParseReuse(b *testing.B) {
+	log := benchLog(b)
+	data := []byte(log.String())
+	rd := bytes.NewReader(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(data)
+		if _, err := sig.Parse(rd); err != nil {
 			b.Fatal(err)
 		}
 	}

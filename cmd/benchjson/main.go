@@ -13,6 +13,13 @@
 // allocs/op growing beyond -tolerance percent) fail the run, ns/op
 // drift is reported but never fails (wall time is machine-dependent),
 // and a baseline benchmark missing from the fresh run fails.
+//
+// -strict-allocs takes a regexp of benchmark names whose allocs/op get
+// ZERO tolerance under -compare: any growth at all fails, even a
+// single allocation. Allocation counts are deterministic — unlike wall
+// time there is no honest noise to tolerate — so the parse benchmarks
+// guarded by the zero-allocation rework pin their exact figure this
+// way. Shrinking never fails.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -56,11 +64,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		compareTo = fs.String("compare", "", "baseline JSON to diff the fresh results against instead of printing")
-		tolerance = fs.Float64("tolerance", 2, "allowed B/op and allocs/op growth in percent before -compare fails")
+		compareTo    = fs.String("compare", "", "baseline JSON to diff the fresh results against instead of printing")
+		tolerance    = fs.Float64("tolerance", 2, "allowed B/op and allocs/op growth in percent before -compare fails")
+		strictAllocs = fs.String("strict-allocs", "", "regexp of benchmark names whose allocs/op regressions fail -compare at ANY growth (zero tolerance)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var strict *regexp.Regexp
+	if *strictAllocs != "" {
+		var err error
+		if strict, err = regexp.Compile(*strictAllocs); err != nil {
+			fmt.Fprintln(stderr, "benchjson: bad -strict-allocs:", err)
+			return 2
+		}
 	}
 	doc, err := parse(stdin)
 	if err != nil {
@@ -72,7 +89,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *compareTo != "" {
-		return compare(stdout, stderr, doc, *compareTo, *tolerance)
+		return compare(stdout, stderr, doc, *compareTo, *tolerance, strict)
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -86,9 +103,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // compare diffs fresh results against the committed baseline. Memory
 // counters must be deterministic per machine class, so B/op and
 // allocs/op regressions beyond the tolerance fail; ns/op drift is only
-// reported. Fresh benchmarks absent from the baseline are noted so the
-// operator knows to regenerate it.
-func compare(stdout, stderr io.Writer, fresh *Baseline, baselinePath string, tolerancePct float64) int {
+// reported. Benchmarks matching strict get zero allocs/op tolerance.
+// Fresh benchmarks absent from the baseline are noted so the operator
+// knows to regenerate it.
+func compare(stdout, stderr io.Writer, fresh *Baseline, baselinePath string, tolerancePct float64, strict *regexp.Regexp) int {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
@@ -112,9 +130,13 @@ func compare(stdout, stderr io.Writer, fresh *Baseline, baselinePath string, tol
 			continue
 		}
 		delete(got, want.Name)
+		allocTol := tolerancePct
+		if strict != nil && strict.MatchString(want.Name) {
+			allocTol = 0
+		}
 		bad := false
 		bad = reportDelta(stdout, want.Name, "B/op", want.BytesPerOp, have.BytesPerOp, tolerancePct) || bad
-		bad = reportDelta(stdout, want.Name, "allocs/op", want.AllocsPerOp, have.AllocsPerOp, tolerancePct) || bad
+		bad = reportDelta(stdout, want.Name, "allocs/op", want.AllocsPerOp, have.AllocsPerOp, allocTol) || bad
 		if bad {
 			failures++
 			continue

@@ -129,6 +129,47 @@ func TestCompareSlowerButNotBigger(t *testing.T) {
 	}
 }
 
+func TestCompareStrictAllocsFailsOnAnyGrowth(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkStreamParse", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},
+	}})
+	var stdout, stderr bytes.Buffer
+	// +1 alloc: far inside the 2% default tolerance, but the strict
+	// regexp pins the figure exactly.
+	in := "BenchmarkStreamParse-8 100 856183 ns/op 10000 B/op 1001 allocs/op\n"
+	args := []string{"-compare", path, "-strict-allocs", "^Benchmark(Stream|String)Parse$"}
+	if code := run(args, strings.NewReader(in), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 on +1 alloc under -strict-allocs; stdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL BenchmarkStreamParse: allocs/op") {
+		t.Errorf("missing FAIL line: %s", stdout.String())
+	}
+}
+
+func TestCompareStrictAllocsShrinkAndNonMatchOK(t *testing.T) {
+	path := writeBaseline(t, Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkStreamParse", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},
+		{Name: "BenchmarkEmit", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},
+	}})
+	var stdout, stderr bytes.Buffer
+	// The strict benchmark shrinks (never a failure); the non-matching
+	// one grows +1%, inside the normal tolerance.
+	in := "BenchmarkStreamParse-8 100 856183 ns/op 10000 B/op 900 allocs/op\n" +
+		"BenchmarkEmit-8 100 856183 ns/op 10000 B/op 1010 allocs/op\n"
+	args := []string{"-compare", path, "-strict-allocs", "^BenchmarkStreamParse$"}
+	if code := run(args, strings.NewReader(in), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestBadStrictAllocsRegexp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := "BenchmarkEmit-8 100 856183 ns/op 10000 B/op 1000 allocs/op\n"
+	if code := run([]string{"-strict-allocs", "("}, strings.NewReader(in), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2 on a malformed -strict-allocs regexp", code)
+	}
+}
+
 func TestCompareMissingBenchmark(t *testing.T) {
 	path := writeBaseline(t, Baseline{Benchmarks: []Result{
 		{Name: "BenchmarkEmit", Runs: 100, BytesPerOp: 10000, AllocsPerOp: 1000},

@@ -88,7 +88,10 @@ func TestAnalyzeStdin(t *testing.T) {
 type jsonDoc struct {
 	Events  int `json:"events"`
 	Salvage *struct {
-		RecordsDropped int `json:"records_dropped"`
+		EventsKept     int      `json:"events_kept"`
+		RecordsDropped int      `json:"records_dropped"`
+		LinesSkipped   int      `json:"lines_skipped"`
+		Errors         []string `json:"errors"`
 	} `json:"salvage"`
 	Loops []struct {
 		Subtype string `json:"subtype"`
@@ -149,6 +152,59 @@ func TestAnalyzeCorruptedLenientJSON(t *testing.T) {
 	}
 	if doc.Salvage == nil || doc.Salvage.RecordsDropped == 0 {
 		t.Errorf("lenient JSON is missing the salvage report: %+v", doc.Salvage)
+	}
+}
+
+// TestAnalyzeOversizedFinalLineLenient: a capture whose last line blows
+// the 4 MiB cap and has no terminating newline still analyzes fully —
+// every event before it is kept and the oversized tail shows up as a
+// skipped line with a quarantine entry, not a silent EOF.
+func TestAnalyzeOversizedFinalLineLenient(t *testing.T) {
+	data, err := os.ReadFile(capturePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean jsonDoc
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "analyze", capturePath(t)}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("clean analyze exit = %d; stderr: %s", code, errOut.String())
+	}
+	if err := json.Unmarshal(out.Bytes(), &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "oversized-tail.log")
+	tail := bytes.Repeat([]byte("x"), 4*1024*1024+1) // > maxLineBytes, unterminated
+	if err := os.WriteFile(path, append(data, tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-lenient", "-json", "analyze", path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("lenient analyze exit = %d; stderr: %s", code, errOut.String())
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Salvage == nil {
+		t.Fatal("lenient analysis carries no salvage report")
+	}
+	if doc.Salvage.EventsKept != clean.Events {
+		t.Errorf("events kept = %d, want all %d from the intact prefix",
+			doc.Salvage.EventsKept, clean.Events)
+	}
+	if doc.Salvage.LinesSkipped != 1 {
+		t.Errorf("lines skipped = %d, want 1 (the oversized unterminated tail)", doc.Salvage.LinesSkipped)
+	}
+	found := false
+	for _, e := range doc.Salvage.Errors {
+		if strings.Contains(e, "4 MiB") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no quarantine entry names the 4 MiB cap: %v", doc.Salvage.Errors)
 	}
 }
 

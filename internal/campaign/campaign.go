@@ -468,6 +468,7 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 		Metrics:  opts.Metrics,
 	}
 	var log *sig.Log
+	var tb *trace.Builder
 	var abort error
 	if opts.FaultRates != nil {
 		// Stream the run end-to-end: the simulator emits into a pipe,
@@ -503,8 +504,13 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 			endSim()
 			pw.CloseWithError(em.Close())
 		}()
+		// The parser tees every kept event into a trace.Builder as it is
+		// parsed, so extraction runs fused with the parse stage and the
+		// StageExtract span below only measures Finish (see
+		// docs/OBSERVABILITY.md).
+		tb = trace.NewBuilder()
 		endParse := startStage(opts.Metrics, obs.StageParse)
-		salvaged, sal, err := sig.ParseLenientObserved(inj.Reader(pr), opts.Metrics)
+		salvaged, sal, err := sig.ParseLenientObservedTee(inj.Reader(pr), opts.Metrics, tb)
 		endParse()
 		if p, ok := <-panicked; ok {
 			panic(p)
@@ -536,7 +542,12 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 		return rec
 	}
 	endExtract := startStage(opts.Metrics, obs.StageExtract)
-	tl := trace.FromLog(log)
+	var tl *trace.Timeline
+	if tb != nil {
+		tl = tb.Finish()
+	} else {
+		tl = trace.FromLog(log)
+	}
 	endExtract()
 	rec.Timeline = tl
 	endDetect := startStage(opts.Metrics, obs.StageDetect)

@@ -2,6 +2,7 @@ package checkers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -27,6 +28,13 @@ const hotDirective = "//loopvet:hot"
 //     declared with no capacity (grow it once with make(len/cap)
 //     before the loop), and closures capturing outer variables (a
 //     fresh closure header per iteration).
+//
+// string([]byte) conversions in the contexts the compiler guarantees
+// are allocation-free are exempt: a switch tag (switch string(b)), a
+// map index read (m[string(b)], including the comma-ok form), a string
+// comparison (string(b) == s / !=), and a delete key
+// (delete(m, string(b))). A map *store* through a converted key
+// (m[string(b)] = v) materializes the key and stays flagged.
 //
 // Function literals inside a hot function inherit the hot scope, but
 // their bodies start at loop depth zero: what runs per iteration is
@@ -73,6 +81,7 @@ func hasHotDirective(doc *ast.CommentGroup) bool {
 // checkHotFunc runs the allocation checks over one hot function.
 func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	noCap := collectNoCapSlices(pass, fn.Body)
+	sanctioned := collectFreeConversions(pass, fn.Body)
 	var walk func(n ast.Node, loopDepth int)
 	walk = func(n ast.Node, loopDepth int) {
 		ast.Inspect(n, func(n ast.Node) bool {
@@ -104,7 +113,7 @@ func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				walk(n.Body, 0)
 				return false
 			case *ast.CallExpr:
-				checkHotCall(pass, n, loopDepth, noCap)
+				checkHotCall(pass, n, loopDepth, noCap, sanctioned)
 			case *ast.CompositeLit:
 				if loopDepth > 0 && isMapType(pass.Info.Types[n].Type) {
 					pass.Reportf(n.Pos(),
@@ -119,12 +128,15 @@ func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 
 // checkHotCall applies the call-shaped checks: fmt.Sprint*, string
 // conversions, per-iteration make(map), append without preallocation.
-func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, loopDepth int, noCap map[types.Object]bool) {
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, loopDepth int, noCap map[types.Object]bool, sanctioned map[*ast.CallExpr]bool) {
 	// Conversions: a call whose Fun is a type.
 	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		to := tv.Type
 		from := pass.Info.Types[call.Args[0]].Type
 		if isStringType(to) && isByteSlice(from) {
+			if sanctioned[call] {
+				return // compiler-recognized allocation-free context
+			}
 			pass.Reportf(call.Pos(),
 				"string([]byte) conversion copies the bytes on every call; keep the []byte or reuse a buffer (//loopvet:hot)")
 		} else if isByteSlice(to) && isStringType(from) {
@@ -165,6 +177,64 @@ func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, loopDepth int, noCap 
 		pass.Reportf(call.Pos(),
 			"fmt.%s allocates its result (and boxes arguments) on every call; render with append into a reused buffer (//loopvet:hot)", fn.Name())
 	}
+}
+
+// collectFreeConversions finds the string([]byte) conversion calls in
+// body that sit in a context the compiler compiles without allocating
+// the string: switch tags, map index reads, ==/!= comparisons and
+// delete keys. Map stores are excluded — an index expression on an
+// assignment's left side (or under ++/--) materializes the key.
+// ast.Inspect visits parents before children, so assignment left sides
+// are recorded before their index expressions are considered.
+func collectFreeConversions(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	mark := func(e ast.Expr) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return
+		}
+		if isStringType(tv.Type) && isByteSlice(pass.Info.Types[call.Args[0]].Type) {
+			out[call] = true
+		}
+	}
+	stores := map[*ast.IndexExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					stores[ix] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := n.X.(*ast.IndexExpr); ok {
+				stores[ix] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				mark(n.Tag)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				mark(n.X)
+				mark(n.Y)
+			}
+		case *ast.IndexExpr:
+			if !stores[n] && isMapType(pass.Info.Types[n.X].Type) {
+				mark(n.Index)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				mark(n.Args[1])
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // collectNoCapSlices finds the local slice variables declared with no

@@ -83,3 +83,33 @@ func ClosureHoisted(items []int, run func(func(int) int)) {
 		run(double)
 	}
 }
+
+// LookupHot converts in the contexts the compiler compiles without
+// allocating: switch tag, map index read (plain and comma-ok),
+// comparison, delete key. All silent.
+//
+//loopvet:hot
+func LookupHot(m map[string]int, b []byte) (int, bool) {
+	if string(b) == "fast" {
+		return 1, true
+	}
+	switch string(b) {
+	case "a", "b":
+		return 2, true
+	}
+	total := m[string(b)]
+	v, ok := m[string(b)]
+	delete(m, string(b))
+	return total + v, ok
+}
+
+// StoreHot writes through a converted key: the store materializes the
+// key, so the conversion is still flagged.
+//
+//loopvet:hot
+func StoreHot(m map[string]int, b []byte) {
+	m[string(b)] = 1          // want "conversion copies the bytes on every call"
+	m[string(b)]++            // want "conversion copies the bytes on every call"
+	s := string(b) + "suffix" // want "conversion copies the bytes on every call"
+	_ = s
+}

@@ -2,11 +2,13 @@ package sig
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/mssn/loopscope/internal/band"
@@ -91,7 +93,7 @@ func (s *Salvage) Summary() string {
 // captures interleave unrelated records); malformed details of a
 // recognized message are an error.
 func Parse(r io.Reader) (*Log, error) {
-	log, _, err := parse(r, false, nil)
+	log, _, err := parse(r, false, nil, nil)
 	return log, err
 }
 
@@ -101,7 +103,7 @@ func Parse(r io.Reader) (*Log, error) {
 // hot loop never consults the collector, so observability costs nothing
 // until the final flush.
 func ParseObserved(r io.Reader, c obs.Collector) (*Log, error) {
-	log, _, err := parse(r, false, c)
+	log, _, err := parse(r, false, c, nil)
 	return log, err
 }
 
@@ -114,7 +116,7 @@ func ParseString(s string) (*Log, error) { return Parse(strings.NewReader(s)) }
 // next header. The error is non-nil only when the reader itself fails;
 // arbitrary text content never errors.
 func ParseLenient(r io.Reader) (*Log, *Salvage, error) {
-	return parse(r, true, nil)
+	return parse(r, true, nil, nil)
 }
 
 // ParseLenientString is ParseLenient over a string.
@@ -126,31 +128,49 @@ func ParseLenientString(s string) (*Log, *Salvage, error) {
 // into c when the parse completes; a nil collector makes it exactly
 // ParseLenient.
 func ParseLenientObserved(r io.Reader, c obs.Collector) (*Log, *Salvage, error) {
-	return parse(r, true, c)
+	return parse(r, true, c, nil)
 }
 
-// parse is the shared strict/lenient parsing loop. Counters accumulate
-// in locals and flush into c once at the end, keeping the per-line path
-// free of interface calls; a parse aborted by an error flushes nothing.
+// ParseLenientObservedTee is ParseLenientObserved with every recovered
+// event additionally delivered to tee, in capture order, the moment it
+// is parsed. This is the incremental-extraction hook: a campaign run
+// hands trace.NewBuilder() here and the timeline is built during the
+// parse pass instead of by re-walking the materialized log afterwards.
+// tee sees exactly the events that end up in the returned Log.
+func ParseLenientObservedTee(r io.Reader, c obs.Collector, tee Sink) (*Log, *Salvage, error) {
+	return parse(r, true, c, tee)
+}
+
+// parse is the shared strict/lenient parsing loop over a pooled []byte
+// parser. Counters accumulate in locals and flush into c once at the
+// end, keeping the per-line path free of interface calls; a parse
+// aborted by an error flushes nothing.
+//
+// The per-line path performs no allocations: lines are zero-copy views
+// from the lineScanner, the current record accumulates in the parser's
+// reused arena, and repeated tokens (cell-identity lines, measConfig
+// bodies, roles, causes, MM states) resolve through interning tables.
+// What remains is the per-event cost of the result itself — interface
+// boxing in Log.Append and message-internal slices.
 //
 //loopvet:hot
-func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
-	lr := &lineReader{br: bufio.NewReaderSize(r, 64*1024), max: maxLineBytes}
+func parse(r io.Reader, lenient bool, c obs.Collector, tee Sink) (*Log, *Salvage, error) {
+	p := acquireParser(r)
+	defer p.release()
 	log := &Log{Events: make([]Event, 0, 256)}
 	sal := &Salvage{}
 	var (
-		cur       *rawEvent
 		lineNum   int
 		oversized int
 	)
 	flush := func() error {
-		if cur == nil {
+		if !p.hasCur {
 			return nil
 		}
-		msg, err := buildMessage(cur)
+		msg, err := p.buildMessage()
 		if err != nil {
-			pe := &ParseError{Line: cur.line, Text: cur.header, Err: err}
-			cur = nil
+			pe := quarantineError(p.cur.line, p.arena[p.cur.header.s:p.cur.header.e], err)
+			p.hasCur = false
 			if !lenient {
 				return pe
 			}
@@ -158,12 +178,15 @@ func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 			sal.note(pe)
 			return nil
 		}
-		log.Append(cur.at, msg)
-		cur = nil
+		log.Append(p.cur.at, msg)
+		if tee != nil {
+			tee.Append(p.cur.at, msg)
+		}
+		p.hasCur = false
 		return nil
 	}
 	for {
-		line, tooLong, err := lr.next()
+		line, tooLong, err := p.sc.next()
 		if err == io.EOF {
 			break
 		}
@@ -173,7 +196,7 @@ func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 		lineNum++
 		if tooLong {
 			oversized++
-			pe := &ParseError{Line: lineNum, Text: line[:80] + "…", Err: ErrLineTooLong}
+			pe := oversizedError(lineNum, line)
 			if !lenient {
 				return nil, nil, pe
 			}
@@ -183,24 +206,25 @@ func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 			// header. An oversized foreign line is just skipped.
 			sal.LinesSkipped++
 			sal.note(pe)
-			if cur != nil && strings.HasPrefix(line, "  ") {
+			if p.hasCur && len(line) >= 2 && line[0] == ' ' && line[1] == ' ' {
 				sal.RecordsDropped++
-				cur = nil
+				p.hasCur = false
 			}
 			continue
 		}
-		if strings.TrimSpace(line) == "" {
+		if isBlank(line) {
 			continue
 		}
-		if strings.HasPrefix(line, "  ") {
-			if cur != nil {
-				cur.details = append(cur.details, strings.TrimSpace(line))
+		if len(line) >= 2 && line[0] == ' ' && line[1] == ' ' {
+			if p.hasCur {
+				lo, hi := trimSpaceRange(line, 0, len(line))
+				p.addDetail(line[lo:hi])
 			} else if lenient {
 				sal.LinesSkipped++ // orphaned detail, nothing to attach to
 			}
 			continue
 		}
-		hdr, ok := parseHeader(line)
+		hdr, ok := parseHeaderB(line)
 		if !ok {
 			if lenient {
 				sal.LinesSkipped++
@@ -210,8 +234,7 @@ func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 		if err := flush(); err != nil {
 			return nil, nil, err
 		}
-		hdr.line = lineNum
-		cur = hdr
+		p.startEvent(line, hdr, lineNum)
 	}
 	if err := flush(); err != nil {
 		return nil, nil, err
@@ -228,272 +251,525 @@ func parse(r io.Reader, lenient bool, c obs.Collector) (*Log, *Salvage, error) {
 	return log, sal, nil
 }
 
-// lineReader yields '\n'-terminated lines with a hard length cap,
-// reporting — rather than failing on — oversized lines so the caller
-// can resync. This is what lets lenient parsing survive binary junk
-// that bufio.Scanner would abort on (losing every event after it).
-type lineReader struct {
-	br  *bufio.Reader
-	max int
-	buf []byte // reused across next calls; the returned string is a copy
+// quarantineError materializes a ParseError for a record whose details
+// failed to build. Cold path: the copies here happen only on damaged
+// records, never per line.
+func quarantineError(line int, header []byte, err error) *ParseError {
+	return &ParseError{Line: line, Text: string(header), Err: err}
 }
 
-// next returns the following line without its terminator. When the line
-// exceeds max bytes, the prefix is returned with tooLong=true and the
-// remainder is discarded.
-//
-//loopvet:hot
-func (lr *lineReader) next() (line string, tooLong bool, err error) {
-	buf := lr.buf[:0]
-	defer func() { lr.buf = buf }()
-	for {
-		chunk, err := lr.br.ReadSlice('\n')
-		if !tooLong {
-			if len(buf)+len(chunk) > lr.max {
-				keep := lr.max - len(buf)
-				buf = append(buf, chunk[:keep]...)
-				tooLong = true
-			} else {
-				buf = append(buf, chunk...)
-			}
-		}
-		switch err {
-		case bufio.ErrBufferFull:
-			continue // line spans the read buffer; keep draining
-		case nil:
-			return trimEOL(buf), tooLong, nil
-		case io.EOF:
-			if len(buf) == 0 {
-				return "", false, io.EOF
-			}
-			return trimEOL(buf), tooLong, nil
-		default:
-			return trimEOL(buf), tooLong, err
-		}
+// oversizedError materializes the ParseError for a line over the cap,
+// carrying the same 80-byte prefix the string parser reported.
+func oversizedError(line int, text []byte) *ParseError {
+	n := 80
+	if len(text) < n {
+		n = len(text) // unreachable with the 4 MiB production cap
 	}
+	return &ParseError{Line: line, Text: string(text[:n]) + "…", Err: ErrLineTooLong}
 }
 
-// trimEOL strips a trailing "\n" or "\r\n".
-//
-//loopvet:hot
-func trimEOL(b []byte) string {
-	// This copy is the per-line allocation the ROADMAP's zero-alloc
-	// parse item exists to remove (~10.8k allocs/op in
-	// BenchmarkStreamParse); it is load-bearing today because the line
-	// outlives the reused read buffer. The waiver keeps it an explicit,
-	// inventoried debt instead of an invisible one.
-	//lint:ignore loopvet/hotalloc returned line must outlive the reused lineReader buffer; removing this copy is the ROADMAP zero-alloc parse work
-	s := string(b)
-	s = strings.TrimSuffix(s, "\n")
-	return strings.TrimSuffix(s, "\r")
-}
+// span is a half-open byte range into the parser arena. Offsets, not
+// slices: the arena may be reallocated by append while a record is
+// still accumulating.
+type span struct{ s, e int }
 
-// rawEvent is a header plus its accumulated detail lines.
+// rawEvent is the staged header of the record currently accumulating:
+// its parsed time/RAT plus arena spans for the header line and kind.
+// One instance lives inside the pooled parser and is reused for every
+// record — the "free list" is of size one because a record is always
+// fully consumed (built or quarantined) before the next header starts.
 type rawEvent struct {
-	at      time.Duration
-	rat     band.RAT
-	kind    string
-	header  string
-	details []string
-	line    int
+	at     time.Duration
+	rat    band.RAT
+	line   int
+	header span
+	kind   span
 }
 
-// parseHeader recognizes "<ts> NR5G RRC OTA Packet -- <CH> / <Kind>" and
-// "<ts> SYS -- EXCEPTION".
+// headerInfo is a recognized header before its line is copied into the
+// arena: kind offsets are relative to the scanned line (kindS < 0
+// flags the synthetic EXCEPTION kind, which has no span in the line).
+type headerInfo struct {
+	at           time.Duration
+	rat          band.RAT
+	kindS, kindE int
+}
+
+// eofReader is what pooled parsers point at between uses, so the pool
+// never pins a caller's reader (or the write end of a campaign pipe).
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// maxRetainedBuf caps how much scratch a pooled parser keeps alive: a
+// capture with a near-4MiB junk line shouldn't turn into 4 MiB pinned
+// per pool slot forever.
+const maxRetainedBuf = 1 << 20
+
+// maxMemoEntries bounds each interning table; pathological captures
+// with millions of distinct cell lines stop interning rather than grow
+// without limit. Lookups still work — only inserts stop.
+const maxMemoEntries = 4096
+
+// parser is the pooled per-parse state: the zero-copy line scanner, the
+// per-record arena with its detail spans, and the interning tables.
+// The memo tables cache only pure line→value parse results, so keeping
+// them across parses (and across pool users) can never change output —
+// it only skips rescans of lines already seen in earlier captures.
+type parser struct {
+	br       *bufio.Reader
+	sc       lineScanner
+	arena    []byte   // current record's copied bytes
+	spans    []span   // detail ranges into arena
+	dviews   [][]byte // scratch for materialized detail views
+	cur      rawEvent
+	hasCur   bool
+	cellMemo map[string]cell.Ref
+	measMemo map[string]rrc.MeasObject
+}
+
+// parserPool recycles parser state across Parse calls; at campaign
+// scale the scanner window, arena and memo tables are the dominant
+// would-be allocations of the parse side.
+var parserPool = sync.Pool{
+	New: func() any {
+		return &parser{
+			br:       bufio.NewReaderSize(eofReader{}, 64*1024),
+			cellMemo: make(map[string]cell.Ref),
+			measMemo: make(map[string]rrc.MeasObject),
+		}
+	},
+}
+
+// acquireParser checks a parser out of the pool, pointed at r.
+func acquireParser(r io.Reader) *parser {
+	p := parserPool.Get().(*parser)
+	p.br.Reset(r)
+	p.sc = lineScanner{br: p.br, max: maxLineBytes, buf: p.sc.buf}
+	p.hasCur = false
+	return p
+}
+
+// release returns the parser to the pool, dropping the caller's reader
+// and any oversized scratch.
+func (p *parser) release() {
+	p.br.Reset(eofReader{})
+	if cap(p.sc.buf) > maxRetainedBuf {
+		p.sc.buf = nil
+	}
+	if cap(p.arena) > maxRetainedBuf {
+		p.arena = nil
+	}
+	p.arena = p.arena[:0]
+	p.spans = p.spans[:0]
+	clear(p.dviews[:cap(p.dviews)]) // drop view refs so the old arena can be collected
+	p.dviews = p.dviews[:0]
+	p.hasCur = false
+	parserPool.Put(p)
+}
+
+// startEvent begins accumulating a new record: the header line is
+// copied into the reset arena (the scanner view dies at the next line)
+// and the kind span is carried over — or the synthetic EXCEPTION kind
+// appended — so buildMessage can dispatch without re-parsing.
 //
 //loopvet:hot
-func parseHeader(line string) (*rawEvent, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 3 {
-		return nil, false
+func (p *parser) startEvent(line []byte, h headerInfo, lineNum int) {
+	p.arena = p.arena[:0]
+	p.spans = p.spans[:0]
+	p.arena = append(p.arena, line...)
+	p.cur.header = span{0, len(line)}
+	if h.kindS < 0 {
+		p.arena = append(p.arena, "EXCEPTION"...)
+		p.cur.kind = span{len(line), len(p.arena)}
+	} else {
+		p.cur.kind = span{h.kindS, h.kindE}
 	}
-	at, err := parseTimestamp(fields[0])
-	if err != nil {
-		return nil, false
+	p.cur.at, p.cur.rat, p.cur.line = h.at, h.rat, lineNum
+	p.hasCur = true
+}
+
+// addDetail appends one trimmed detail line to the current record's
+// arena.
+//
+//loopvet:hot
+func (p *parser) addDetail(trimmed []byte) {
+	s := len(p.arena)
+	p.arena = append(p.arena, trimmed...)
+	p.spans = append(p.spans, span{s, len(p.arena)})
+}
+
+// detailViews materializes the detail spans as slices; the arena is
+// stable for the duration of buildMessage (nothing appends to it while
+// a record is being built).
+//
+//loopvet:hot
+func (p *parser) detailViews() [][]byte {
+	v := p.dviews[:0]
+	for _, sp := range p.spans {
+		v = append(v, p.arena[sp.s:sp.e])
 	}
-	rest := strings.TrimSpace(line[len(fields[0]):])
-	if rest == "SYS -- EXCEPTION" {
-		return &rawEvent{at: at, rat: band.RATNR, kind: "EXCEPTION", header: line}, true
+	p.dviews = v
+	return v
+}
+
+var (
+	sepRRCPacket = []byte(" RRC OTA Packet -- ")
+	sepSlash     = []byte(" / ")
+)
+
+// parseHeaderB recognizes "<ts> NR5G RRC OTA Packet -- <CH> / <Kind>"
+// and "<ts> SYS -- EXCEPTION" without allocating, preserving the
+// string parser's exact field semantics (including the quirk that the
+// tail is sliced at len(fields[0]) from the line start, so a header
+// with leading white space shifts the tail window).
+//
+//loopvet:hot
+func parseHeaderB(line []byte) (headerInfo, bool) {
+	first, enough := fieldsInfo(line)
+	if !enough {
+		return headerInfo{}, false
 	}
-	techName, after, ok := strings.Cut(rest, " RRC OTA Packet -- ")
+	at, ok := parseTimestampB(first)
 	if !ok {
-		return nil, false
+		return headerInfo{}, false
+	}
+	restLo, restHi := trimSpaceRange(line, len(first), len(line))
+	rest := line[restLo:restHi]
+	if string(rest) == "SYS -- EXCEPTION" {
+		return headerInfo{at: at, rat: band.RATNR, kindS: -1, kindE: -1}, true
+	}
+	idx := bytes.Index(rest, sepRRCPacket)
+	if idx < 0 {
+		return headerInfo{}, false
 	}
 	var rat band.RAT
-	switch techName {
+	switch string(rest[:idx]) {
 	case "NR5G":
 		rat = band.RATNR
 	case "LTE":
 		rat = band.RATLTE
 	default:
-		return nil, false
+		return headerInfo{}, false
 	}
-	_, kind, ok := strings.Cut(after, " / ")
-	if !ok {
-		return nil, false
+	afterLo := restLo + idx + len(sepRRCPacket)
+	j := bytes.Index(line[afterLo:restHi], sepSlash)
+	if j < 0 {
+		return headerInfo{}, false
 	}
-	return &rawEvent{at: at, rat: rat, kind: strings.TrimSpace(kind), header: line}, true
+	kLo, kHi := trimSpaceRange(line, afterLo+j+len(sepSlash), restHi)
+	return headerInfo{at: at, rat: rat, kindS: kLo, kindE: kHi}, true
 }
 
-// buildMessage converts a raw event into a typed message.
-func buildMessage(e *rawEvent) (rrc.Message, error) {
-	switch e.kind {
+// buildMessage converts the accumulated record into a typed message.
+// Dispatching through switch string(kind) is allocation-free (the
+// compiler recognizes the conversion in switch-tag position).
+//
+//loopvet:hot
+func (p *parser) buildMessage() (rrc.Message, error) {
+	details := p.detailViews()
+	kind := p.arena[p.cur.kind.s:p.cur.kind.e]
+	switch string(kind) {
 	case "MIB":
-		ref, err := findCellLine(e.details)
+		ref, err := p.findCellLine(details)
 		if err != nil {
 			return nil, err
 		}
-		return rrc.MIB{Rat: e.rat, Cell: ref}, nil
+		return rrc.MIB{Rat: p.cur.rat, Cell: ref}, nil
 	case "SIB1":
-		ref, err := findCellLine(e.details)
-		if err != nil {
-			return nil, err
-		}
-		m := rrc.SIB1{Rat: e.rat, Cell: ref}
-		for _, d := range e.details {
-			if v, ok := strings.CutPrefix(d, "selectionThreshRSRP = "); ok {
-				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad selectionThreshRSRP: %v", err)
-				}
-				m.ThreshRSRPDBm = units.DBm(f)
-			}
-		}
-		return m, nil
+		return p.buildSIB1(details)
 	case "RRCSetupRequest", "RRCConnectionSetupRequest":
-		ref, err := findCellLine(e.details)
+		ref, err := p.findCellLine(details)
 		if err != nil {
 			return nil, err
 		}
-		return rrc.SetupRequest{Rat: e.rat, Cell: ref}, nil
+		return rrc.SetupRequest{Rat: p.cur.rat, Cell: ref}, nil
 	case "RRCSetup", "RRCConnectionSetup":
-		ref, err := findCellLine(e.details)
+		ref, err := p.findCellLine(details)
 		if err != nil {
 			return nil, err
 		}
-		return rrc.Setup{Rat: e.rat, Cell: ref}, nil
+		return rrc.Setup{Rat: p.cur.rat, Cell: ref}, nil
 	case "RRCSetupComplete", "RRCConnectionSetupComplete":
-		ref, err := findCellLine(e.details)
+		ref, err := p.findCellLine(details)
 		if err != nil {
 			return nil, err
 		}
-		return rrc.SetupComplete{Rat: e.rat, Cell: ref}, nil
+		return rrc.SetupComplete{Rat: p.cur.rat, Cell: ref}, nil
 	case "RRCReconfiguration", "RRCConnectionReconfiguration":
-		return buildReconfig(e)
+		return p.buildReconfig(details)
 	case "RRCReconfigurationComplete", "RRCConnectionReconfigurationComplete":
-		return rrc.ReconfigComplete{Rat: e.rat}, nil
+		return rrc.ReconfigComplete{Rat: p.cur.rat}, nil
 	case "MeasurementReport":
-		return buildMeasReport(e)
+		return p.buildMeasReport(details)
 	case "SCGFailureInformationNR":
-		for _, d := range e.details {
-			if v, ok := strings.CutPrefix(d, "failureType "); ok {
-				return rrc.SCGFailureInfo{FailureType: rrc.SCGFailureCause(strings.TrimSpace(v))}, nil
+		for _, d := range details {
+			if v, ok := bytes.CutPrefix(d, prefFailureType); ok {
+				lo, hi := trimSpaceRange(v, 0, len(v))
+				return rrc.SCGFailureInfo{FailureType: internCause(v[lo:hi])}, nil
 			}
 		}
-		return nil, fmt.Errorf("SCGFailureInformationNR without failureType")
+		return nil, errNoFailureType
 	case "RRCConnectionReestablishmentRequest":
-		for _, d := range e.details {
-			if v, ok := strings.CutPrefix(d, "reestablishmentCause "); ok {
-				return rrc.ReestablishmentRequest{Cause: rrc.ReestCause(strings.TrimSpace(v))}, nil
+		for _, d := range details {
+			if v, ok := bytes.CutPrefix(d, prefReestCause); ok {
+				lo, hi := trimSpaceRange(v, 0, len(v))
+				return rrc.ReestablishmentRequest{Cause: internReestCause(v[lo:hi])}, nil
 			}
 		}
-		return nil, fmt.Errorf("reestablishment request without cause")
+		return nil, errNoReestCause
 	case "RRCConnectionReestablishmentComplete":
-		ref, err := findCellLine(e.details)
+		ref, err := p.findCellLine(details)
 		if err != nil {
 			return nil, err
 		}
 		return rrc.ReestablishmentComplete{Cell: ref}, nil
 	case "RRCRelease", "RRCConnectionRelease":
-		return rrc.Release{Rat: e.rat}, nil
+		return rrc.Release{Rat: p.cur.rat}, nil
 	case "EXCEPTION":
-		m := rrc.Exception{}
-		for _, d := range e.details {
-			if strings.HasPrefix(d, "MM5G State = ") {
-				fmt.Sscanf(d, "MM5G State = %s Substate = %s", &m.MMState, &m.Substate)
-				m.MMState = strings.TrimSuffix(m.MMState, ",")
-			}
-		}
-		return m, nil
+		return buildException(details), nil
 	default:
-		return nil, fmt.Errorf("unknown message kind %q", e.kind)
+		return nil, unknownKindError(kind)
 	}
+}
+
+func unknownKindError(kind []byte) error {
+	return fmt.Errorf("unknown message kind %q", kind)
+}
+
+var (
+	prefCellLine    = []byte("Physical Cell ID = ")
+	prefThreshRSRP  = []byte("selectionThreshRSRP = ")
+	prefFailureType = []byte("failureType ")
+	prefReestCause  = []byte("reestablishmentCause ")
+	prefMM5G        = []byte("MM5G State = ")
+	prefAddMod      = []byte("sCellToAddModList ")
+	prefReleaseList = []byte("sCellToReleaseList {")
+	prefSpCell      = []byte("spCellConfig {")
+	prefScgSCell    = []byte("scgSCell {")
+	litScgRelease   = []byte("scg-Release {}")
+	prefMobility    = []byte("mobilityControlInfo {")
+	prefMeasConfig  = []byte("measConfig {")
+	prefMeasResult  = []byte("measResult {")
+)
+
+var (
+	errMissingCellLine = errors.New("missing Physical Cell ID line")
+	errNoFailureType   = errors.New("SCGFailureInformationNR without failureType")
+	errNoReestCause    = errors.New("reestablishment request without cause")
+)
+
+// buildSIB1 parses the cell identity plus the reselection threshold.
+//
+//loopvet:hot
+func (p *parser) buildSIB1(details [][]byte) (rrc.Message, error) {
+	ref, err := p.findCellLine(details)
+	if err != nil {
+		return nil, err
+	}
+	m := rrc.SIB1{Rat: p.cur.rat, Cell: ref}
+	for _, d := range details {
+		if v, ok := bytes.CutPrefix(d, prefThreshRSRP); ok {
+			lo, hi := trimSpaceRange(v, 0, len(v))
+			f, ok := scanFloatB(v[lo:hi])
+			if !ok {
+				f, err = parseFloatSlow(v[lo:hi])
+				if err != nil {
+					return nil, badThreshError(err)
+				}
+			}
+			m.ThreshRSRPDBm = units.DBm(f)
+		}
+	}
+	return m, nil
+}
+
+func badThreshError(err error) error {
+	return fmt.Errorf("bad selectionThreshRSRP: %v", err)
+}
+
+// parseFloatSlow is the strconv fallback for floats outside the exact
+// fast-path subset; its error text is the old parser's error text.
+func parseFloatSlow(b []byte) (float64, error) {
+	return strconv.ParseFloat(string(b), 64)
 }
 
 // findCellLine extracts "Physical Cell ID = P, Freq = C", accepting the
 // NR form that carries the Cell Global ID between the two fields.
-func findCellLine(details []string) (cell.Ref, error) {
+// Successful lines intern through cellMemo, so a capture camping on one
+// cell resolves every sighting with a single map probe.
+//
+//loopvet:hot
+func (p *parser) findCellLine(details [][]byte) (cell.Ref, error) {
 	for _, d := range details {
-		if !strings.HasPrefix(d, "Physical Cell ID = ") {
+		if !bytes.HasPrefix(d, prefCellLine) {
 			continue
 		}
-		var pci, ch int
-		var cgi uint64
-		if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, NR Cell Global ID = %d, Freq = %d",
-			&pci, &cgi, &ch); err == nil {
-			return cell.Ref{PCI: pci, Channel: ch}, nil
+		if ref, ok := p.cellMemo[string(d)]; ok {
+			return ref, nil
 		}
-		if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, Freq = %d", &pci, &ch); err != nil {
-			return cell.Ref{}, fmt.Errorf("bad cell line %q: %v", d, err)
+		ref, ok := scanCellLine(d)
+		if !ok {
+			var err error
+			ref, err = findCellLineSlow(d)
+			if err != nil {
+				return cell.Ref{}, err
+			}
 		}
+		p.memoCell(d, ref)
+		return ref, nil
+	}
+	return cell.Ref{}, errMissingCellLine
+}
+
+// memoCell interns a successfully parsed cell-identity line. The key
+// copy is the one allocation, paid once per distinct line per pooled
+// parser.
+func (p *parser) memoCell(d []byte, ref cell.Ref) {
+	if len(p.cellMemo) >= maxMemoEntries {
+		return
+	}
+	p.cellMemo[string(d)] = ref
+}
+
+// scanCellLine is the canonical fast path for both cell-line forms.
+//
+//loopvet:hot
+func scanCellLine(d []byte) (cell.Ref, bool) {
+	pos, ok := matchLit(d, 0, "Physical Cell ID = ")
+	if !ok {
+		return cell.Ref{}, false
+	}
+	pci, pos, ok := scanIntB(d, pos)
+	if !ok {
+		return cell.Ref{}, false
+	}
+	// NR form first, mirroring the Sscanf attempt order.
+	if nrPos, ok := matchLit(d, pos, ", NR Cell Global ID = "); ok {
+		if _, cgPos, ok := scanUintB(d, nrPos); ok {
+			if fqPos, ok := matchLit(d, cgPos, ", Freq = "); ok {
+				if ch, _, ok := scanIntB(d, fqPos); ok {
+					return cell.Ref{PCI: pci, Channel: ch}, true
+				}
+			}
+		}
+		// The NR marker is present but non-canonical; let the slow
+		// path decide (the short form cannot match this input).
+		return cell.Ref{}, false
+	}
+	fqPos, ok := matchLit(d, pos, ", Freq = ")
+	if !ok {
+		return cell.Ref{}, false
+	}
+	ch, _, ok := scanIntB(d, fqPos)
+	if !ok {
+		return cell.Ref{}, false
+	}
+	return cell.Ref{PCI: pci, Channel: ch}, true
+}
+
+// findCellLineSlow is the old Sscanf cell-line parser on a materialized
+// copy, error text included.
+func findCellLineSlow(db []byte) (cell.Ref, error) {
+	d := string(db)
+	var pci, ch int
+	var cgi uint64
+	if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, NR Cell Global ID = %d, Freq = %d",
+		&pci, &cgi, &ch); err == nil {
 		return cell.Ref{PCI: pci, Channel: ch}, nil
 	}
-	return cell.Ref{}, fmt.Errorf("missing Physical Cell ID line")
+	if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, Freq = %d", &pci, &ch); err != nil {
+		return cell.Ref{}, fmt.Errorf("bad cell line %q: %v", d, err)
+	}
+	return cell.Ref{PCI: pci, Channel: ch}, nil
 }
 
 // buildReconfig parses every reconfiguration field.
-func buildReconfig(e *rawEvent) (rrc.Message, error) {
-	serving, err := findCellLine(e.details)
+//
+//loopvet:hot
+func (p *parser) buildReconfig(details [][]byte) (rrc.Message, error) {
+	serving, err := p.findCellLine(details)
 	if err != nil {
 		return nil, err
 	}
-	m := rrc.Reconfig{Rat: e.rat, Serving: serving}
-	for _, d := range e.details {
+	m := rrc.Reconfig{Rat: p.cur.rat, Serving: serving}
+	for _, d := range details {
 		switch {
-		case strings.HasPrefix(d, "sCellToAddModList "):
-			var idx, pci, ch int
-			if _, err := fmt.Sscanf(d, "sCellToAddModList {sCellIndex %d, physCellId %d, absoluteFrequencySSB %d}",
-				&idx, &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad sCellToAddModList %q: %v", d, err)
+		case bytes.HasPrefix(d, prefAddMod):
+			idx, pci, ch, ok := scanBraced3(d, "sCellToAddModList {sCellIndex ", ", physCellId ", ", absoluteFrequencySSB ")
+			if !ok {
+				var err error
+				idx, pci, ch, err = scanAddModSlow(d)
+				if err != nil {
+					return nil, err
+				}
 			}
 			m.AddSCells = append(m.AddSCells, rrc.SCellEntry{Index: idx, Cell: cell.Ref{PCI: pci, Channel: ch}})
-		case strings.HasPrefix(d, "sCellToReleaseList {"):
-			body := strings.TrimSuffix(strings.TrimPrefix(d, "sCellToReleaseList {"), "}")
-			for _, tok := range strings.Split(body, ",") {
-				tok = strings.TrimSpace(tok)
-				if tok == "" {
-					continue
+		case bytes.HasPrefix(d, prefReleaseList):
+			body := cutBraceBody(d, len(prefReleaseList))
+			rest := body
+			for {
+				var tok []byte
+				i := bytes.IndexByte(rest, ',')
+				last := i < 0
+				if last {
+					tok = rest
+				} else {
+					tok, rest = rest[:i], rest[i+1:]
 				}
-				idx, err := strconv.Atoi(tok)
-				if err != nil {
-					return nil, fmt.Errorf("bad sCellToReleaseList %q: %v", d, err)
+				lo, hi := trimSpaceRange(tok, 0, len(tok))
+				tok = tok[lo:hi]
+				if len(tok) > 0 {
+					idx, ok := scanAtoiB(tok)
+					if !ok {
+						var err error
+						idx, err = releaseTokSlow(d, tok)
+						if err != nil {
+							return nil, err
+						}
+					}
+					m.ReleaseSCells = append(m.ReleaseSCells, idx)
 				}
-				m.ReleaseSCells = append(m.ReleaseSCells, idx)
+				if last {
+					break
+				}
 			}
-		case strings.HasPrefix(d, "spCellConfig {"):
-			var pci, ch int
-			if _, err := fmt.Sscanf(d, "spCellConfig {physCellId %d, ssbFrequency %d}", &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad spCellConfig %q: %v", d, err)
+		case bytes.HasPrefix(d, prefSpCell):
+			pci, ch, ok := scanBraced2(d, "spCellConfig {physCellId ", ", ssbFrequency ")
+			if !ok {
+				var err error
+				pci, ch, err = scanPairSlow(d, "spCellConfig {physCellId %d, ssbFrequency %d}", "bad spCellConfig")
+				if err != nil {
+					return nil, err
+				}
 			}
 			ref := cell.Ref{PCI: pci, Channel: ch}
 			m.SpCell = &ref
-		case strings.HasPrefix(d, "scgSCell {"):
-			var pci, ch int
-			if _, err := fmt.Sscanf(d, "scgSCell {physCellId %d, ssbFrequency %d}", &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad scgSCell %q: %v", d, err)
+		case bytes.HasPrefix(d, prefScgSCell):
+			pci, ch, ok := scanBraced2(d, "scgSCell {physCellId ", ", ssbFrequency ")
+			if !ok {
+				var err error
+				pci, ch, err = scanPairSlow(d, "scgSCell {physCellId %d, ssbFrequency %d}", "bad scgSCell")
+				if err != nil {
+					return nil, err
+				}
 			}
 			m.SCGSCells = append(m.SCGSCells, cell.Ref{PCI: pci, Channel: ch})
-		case d == "scg-Release {}":
+		case bytes.Equal(d, litScgRelease):
 			m.SCGRelease = true
-		case strings.HasPrefix(d, "mobilityControlInfo {"):
-			var pci, ch int
-			if _, err := fmt.Sscanf(d, "mobilityControlInfo {targetPhysCellId %d, dl-CarrierFreq %d}", &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad mobilityControlInfo %q: %v", d, err)
+		case bytes.HasPrefix(d, prefMobility):
+			pci, ch, ok := scanBraced2(d, "mobilityControlInfo {targetPhysCellId ", ", dl-CarrierFreq ")
+			if !ok {
+				var err error
+				pci, ch, err = scanPairSlow(d, "mobilityControlInfo {targetPhysCellId %d, dl-CarrierFreq %d}", "bad mobilityControlInfo")
+				if err != nil {
+					return nil, err
+				}
 			}
 			ref := cell.Ref{PCI: pci, Channel: ch}
 			m.Mobility = &ref
-		case strings.HasPrefix(d, "measConfig {"):
-			mo, err := parseMeasObject(strings.TrimSuffix(strings.TrimPrefix(d, "measConfig {"), "}"))
+		case bytes.HasPrefix(d, prefMeasConfig):
+			mo, err := p.measObject(cutBraceBody(d, len(prefMeasConfig)))
 			if err != nil {
 				return nil, err
 			}
@@ -503,39 +779,188 @@ func buildReconfig(e *rawEvent) (rrc.Message, error) {
 	return m, nil
 }
 
+// cutBraceBody strips the already-matched "name {" prefix and one
+// trailing "}" if present (strings.TrimSuffix semantics).
+//
+//loopvet:hot
+func cutBraceBody(d []byte, prefixLen int) []byte {
+	body := d[prefixLen:]
+	if n := len(body); n > 0 && body[n-1] == '}' {
+		body = body[:n-1]
+	}
+	return body
+}
+
+// scanBraced2 is the canonical fast path for "<l1><int><l2><int>}".
+//
+//loopvet:hot
+func scanBraced2(d []byte, l1, l2 string) (a, b int, ok bool) {
+	pos, ok := matchLit(d, 0, l1)
+	if !ok {
+		return 0, 0, false
+	}
+	a, pos, ok = scanIntB(d, pos)
+	if !ok {
+		return 0, 0, false
+	}
+	pos, ok = matchLit(d, pos, l2)
+	if !ok {
+		return 0, 0, false
+	}
+	b, pos, ok = scanIntB(d, pos)
+	if !ok {
+		return 0, 0, false
+	}
+	_, ok = matchLit(d, pos, "}")
+	return a, b, ok
+}
+
+// scanBraced3 is the canonical fast path for
+// "<l1><int><l2><int><l3><int>}".
+//
+//loopvet:hot
+func scanBraced3(d []byte, l1, l2, l3 string) (a, b, c int, ok bool) {
+	pos, ok := matchLit(d, 0, l1)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	a, pos, ok = scanIntB(d, pos)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	pos, ok = matchLit(d, pos, l2)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	b, pos, ok = scanIntB(d, pos)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	pos, ok = matchLit(d, pos, l3)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	c, pos, ok = scanIntB(d, pos)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	_, ok = matchLit(d, pos, "}")
+	return a, b, c, ok
+}
+
+// scanAddModSlow is the old Sscanf sCellToAddModList parser on a
+// materialized copy.
+func scanAddModSlow(db []byte) (idx, pci, ch int, err error) {
+	d := string(db)
+	if _, serr := fmt.Sscanf(d, "sCellToAddModList {sCellIndex %d, physCellId %d, absoluteFrequencySSB %d}",
+		&idx, &pci, &ch); serr != nil {
+		return 0, 0, 0, fmt.Errorf("bad sCellToAddModList %q: %v", d, serr)
+	}
+	return idx, pci, ch, nil
+}
+
+// scanPairSlow is the old Sscanf two-int parser on a materialized copy.
+func scanPairSlow(db []byte, format, what string) (a, b int, err error) {
+	d := string(db)
+	if _, serr := fmt.Sscanf(d, format, &a, &b); serr != nil {
+		return 0, 0, fmt.Errorf("%s %q: %v", what, d, serr)
+	}
+	return a, b, nil
+}
+
+// releaseTokSlow is the strconv.Atoi fallback for release-list tokens.
+func releaseTokSlow(d, tok []byte) (int, error) {
+	idx, err := strconv.Atoi(string(tok))
+	if err != nil {
+		return 0, fmt.Errorf("bad sCellToReleaseList %q: %v", d, err)
+	}
+	return idx, nil
+}
+
+// measObject resolves one measConfig body, interning through measMemo:
+// a campaign's handful of distinct configurations parse once and every
+// later sighting costs a map probe plus a defensive copy of the
+// channel list. The memo keeps private slices, so a hit never aliases
+// a previously returned message.
+func (p *parser) measObject(body []byte) (rrc.MeasObject, error) {
+	if mo, ok := p.measMemo[string(body)]; ok {
+		if mo.Channels != nil {
+			mo.Channels = append([]int(nil), mo.Channels...)
+		}
+		return mo, nil
+	}
+	mo, err := parseMeasObject(string(body))
+	if err != nil {
+		return rrc.MeasObject{}, err
+	}
+	if len(p.measMemo) < maxMemoEntries {
+		stored := mo
+		if stored.Channels != nil {
+			stored.Channels = append([]int(nil), stored.Channels...)
+		}
+		p.measMemo[string(body)] = stored
+	}
+	return mo, nil
+}
+
+var sepCommaSpace = []byte(", ")
+
 // buildMeasReport parses measResult lines.
-func buildMeasReport(e *rawEvent) (rrc.Message, error) {
-	m := rrc.MeasReport{Rat: e.rat}
-	for _, d := range e.details {
-		if !strings.HasPrefix(d, "measResult {") {
+//
+//loopvet:hot
+func (p *parser) buildMeasReport(details [][]byte) (rrc.Message, error) {
+	m := rrc.MeasReport{Rat: p.cur.rat}
+	for _, d := range details {
+		if !bytes.HasPrefix(d, prefMeasResult) {
 			continue
 		}
-		body := strings.TrimSuffix(strings.TrimPrefix(d, "measResult {"), "}")
+		body := cutBraceBody(d, len(prefMeasResult))
 		entry := rrc.MeasEntry{}
-		var err error
-		for _, part := range strings.Split(body, ", ") {
-			key, val, ok := strings.Cut(part, " ")
-			if !ok {
-				return nil, fmt.Errorf("bad measResult field %q in %q", part, d)
+		rest := body
+		for {
+			var part []byte
+			i := bytes.Index(rest, sepCommaSpace)
+			last := i < 0
+			if last {
+				part = rest
+			} else {
+				part, rest = rest[:i], rest[i+2:]
 			}
-			switch key {
+			j := bytes.IndexByte(part, ' ')
+			if j < 0 {
+				return nil, badMeasFieldError(part, d)
+			}
+			key, val := part[:j], part[j+1:]
+			var err error
+			switch string(key) {
 			case "cell":
-				entry.Cell, err = cell.ParseRef(val)
+				ref, ok := scanRefB(val)
+				if !ok {
+					ref, err = parseRefSlow(val)
+				}
+				entry.Cell = ref
 			case "role":
-				entry.Role = rrc.MeasRole(val)
+				entry.Role = internRole(val)
 			case "rsrp":
-				var f float64
-				f, err = strconv.ParseFloat(val, 64)
+				f, ok := scanFloatB(val)
+				if !ok {
+					f, err = parseFloatSlow(val)
+				}
 				entry.Meas.RSRPDBm = units.DBm(f)
 			case "rsrq":
-				var f float64
-				f, err = strconv.ParseFloat(val, 64)
+				f, ok := scanFloatB(val)
+				if !ok {
+					f, err = parseFloatSlow(val)
+				}
 				entry.Meas.RSRQDB = units.DB(f)
 			default:
-				err = fmt.Errorf("unknown measResult field %q", key)
+				err = unknownMeasFieldError(key)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("bad measResult %q: %v", d, err)
+				return nil, badMeasResultError(d, err)
+			}
+			if last {
+				break
 			}
 		}
 		m.Entries = append(m.Entries, entry)
@@ -543,8 +968,197 @@ func buildMeasReport(e *rawEvent) (rrc.Message, error) {
 	return m, nil
 }
 
+func badMeasFieldError(part, d []byte) error {
+	return fmt.Errorf("bad measResult field %q in %q", part, d)
+}
+
+func unknownMeasFieldError(key []byte) error {
+	return fmt.Errorf("unknown measResult field %q", key)
+}
+
+func badMeasResultError(d []byte, err error) error {
+	return fmt.Errorf("bad measResult %q: %v", d, err)
+}
+
+// scanRefB is the canonical fast path for cell.ParseRef: full-token
+// "<int>@<int>" with Atoi-subset components.
+//
+//loopvet:hot
+func scanRefB(b []byte) (cell.Ref, bool) {
+	at := bytes.IndexByte(b, '@')
+	if at < 0 {
+		return cell.Ref{}, false
+	}
+	pci, end, ok := scanIntB(b, 0)
+	if !ok || end != at {
+		return cell.Ref{}, false
+	}
+	ch, end, ok := scanIntB(b, at+1)
+	if !ok || end != len(b) {
+		return cell.Ref{}, false
+	}
+	return cell.Ref{PCI: pci, Channel: ch}, true
+}
+
+// parseRefSlow is cell.ParseRef on a materialized copy, error text
+// included.
+func parseRefSlow(b []byte) (cell.Ref, error) {
+	return cell.ParseRef(string(b))
+}
+
+// buildException folds MM5G state lines, preserving the old parser's
+// best-effort Sscanf semantics (errors ignored, partial fills kept,
+// later lines overriding earlier ones).
+func buildException(details [][]byte) rrc.Message {
+	m := rrc.Exception{}
+	for _, d := range details {
+		if !bytes.HasPrefix(d, prefMM5G) {
+			continue
+		}
+		if mm, sub, ok := scanMM5G(d); ok {
+			if n := len(mm); n > 0 && mm[n-1] == ',' {
+				mm = mm[:n-1]
+			}
+			m.MMState = internMMToken(mm)
+			m.Substate = internMMToken(sub)
+		} else {
+			scanMM5GSlow(d, &m)
+		}
+	}
+	return m
+}
+
+// scanMM5G is the canonical fast path for
+// "MM5G State = %s Substate = %s": both tokens present, single spaces.
+// Any partial or spaced-out variant misses to the Sscanf fallback.
+//
+//loopvet:hot
+func scanMM5G(d []byte) (mm, sub []byte, ok bool) {
+	pos, ok := matchLit(d, 0, "MM5G State = ")
+	if !ok {
+		return nil, nil, false
+	}
+	mmEnd := nonSpaceEnd(d, pos)
+	if mmEnd == pos {
+		return nil, nil, false
+	}
+	if mmEnd < 0 {
+		return nil, nil, false
+	}
+	pos2, ok := matchLit(d, mmEnd, " Substate = ")
+	if !ok {
+		return nil, nil, false
+	}
+	subEnd := nonSpaceEnd(d, pos2)
+	if subEnd <= pos2 {
+		return nil, nil, false
+	}
+	return d[pos:mmEnd], d[pos2:subEnd], true
+}
+
+// nonSpaceEnd returns the end of the run of non-space bytes at pos per
+// fmt's %s token rule, or -1 when the token holds a byte outside
+// printable ASCII (fmt's isSpace set includes control bytes and two
+// non-ASCII runes; anything that could hit them must take the Sscanf
+// fallback instead of the fast path).
+//
+//loopvet:hot
+func nonSpaceEnd(d []byte, pos int) int {
+	for pos < len(d) {
+		c := d[pos]
+		if c == ' ' {
+			return pos
+		}
+		if c < '!' || c >= 0x7f {
+			return -1
+		}
+		pos++
+	}
+	return pos
+}
+
+// scanMM5GSlow is the old best-effort Sscanf on a materialized copy,
+// with its trailing-comma trim applied the same way (to whatever the
+// state field holds after the scan, even a value from an earlier
+// line).
+func scanMM5GSlow(db []byte, m *rrc.Exception) {
+	d := string(db)
+	fmt.Sscanf(d, "MM5G State = %s Substate = %s", &m.MMState, &m.Substate)
+	m.MMState = strings.TrimSuffix(m.MMState, ",")
+}
+
+// internMMToken maps the MM states the simulator emits onto shared
+// constants; anything else is copied (cold: unknown states appear once
+// per damaged line, not per event).
+//
+//loopvet:hot
+func internMMToken(b []byte) string {
+	switch string(b) {
+	case "DEREGISTERED":
+		return "DEREGISTERED"
+	case "NO_CELL_AVAILABLE":
+		return "NO_CELL_AVAILABLE"
+	case "":
+		return ""
+	}
+	return stringCopy(b)
+}
+
+// internRole maps measurement roles onto the rrc constants.
+//
+//loopvet:hot
+func internRole(b []byte) rrc.MeasRole {
+	switch string(b) {
+	case "PCell":
+		return rrc.RolePCell
+	case "PSCell":
+		return rrc.RolePSCell
+	case "SCell":
+		return rrc.RoleSCell
+	case "candidate":
+		return rrc.RoleCandidate
+	}
+	return rrc.MeasRole(stringCopy(b))
+}
+
+// internCause maps SCG failure causes onto the rrc constants.
+//
+//loopvet:hot
+func internCause(b []byte) rrc.SCGFailureCause {
+	switch string(b) {
+	case "randomAccessProblem":
+		return rrc.SCGFailureRandomAccess
+	case "scg-RadioLinkFailure":
+		return rrc.SCGFailureRLF
+	case "maxRetransmissions":
+		return rrc.SCGFailureMaxRetx
+	case "synchronousReconfigFailure":
+		return rrc.SCGFailureSyncError
+	}
+	return rrc.SCGFailureCause(stringCopy(b))
+}
+
+// internReestCause maps reestablishment causes onto the rrc constants.
+//
+//loopvet:hot
+func internReestCause(b []byte) rrc.ReestCause {
+	switch string(b) {
+	case "otherFailure":
+		return rrc.ReestOtherFailure
+	case "handoverFailure":
+		return rrc.ReestHandoverFailure
+	}
+	return rrc.ReestCause(stringCopy(b))
+}
+
+// stringCopy is the explicit cold-path materialization for tokens
+// outside every interning table.
+func stringCopy(b []byte) string { return string(b) }
+
 // parseMeasObject inverts rrc.MeasObject.String, e.g.
-// "A2 RSRP < -156dBm on 387410,398410".
+// "A2 RSRP < -156dBm on 387410,398410". It stays string-based: the hot
+// path reaches it only on a measMemo miss, once per distinct
+// configuration.
 func parseMeasObject(s string) (rrc.MeasObject, error) {
 	body, chans, ok := strings.Cut(s, " on ")
 	if !ok {

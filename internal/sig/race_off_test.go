@@ -1,0 +1,5 @@
+//go:build !race
+
+package sig
+
+const raceEnabled = false

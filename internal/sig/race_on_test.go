@@ -1,0 +1,7 @@
+//go:build race
+
+package sig
+
+// raceEnabled lets the AllocsPerRun pins skip under the race detector,
+// whose instrumentation perturbs allocation counts.
+const raceEnabled = true

@@ -1,0 +1,183 @@
+package sig
+
+import (
+	"bufio"
+	"io"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lineScanner yields '\n'-terminated lines as []byte views with a hard
+// length cap, reporting — rather than failing on — oversized lines so
+// the caller can resync. This is what lets lenient parsing survive
+// binary junk that bufio.Scanner would abort on (losing every event
+// after it).
+//
+// The returned slice is only valid until the next call to next: the
+// common case is a zero-copy view into the bufio window, and the
+// multi-chunk fallback reuses one assembly buffer. Callers must copy
+// anything they retain (the parser copies into its per-event arena).
+type lineScanner struct {
+	br  *bufio.Reader
+	max int
+	buf []byte // multi-chunk assembly buffer, reused across next calls
+}
+
+// next returns the following line without its terminator. When the line
+// exceeds max bytes, the prefix is returned with tooLong=true and the
+// remainder is discarded. A final line without a terminator — even one
+// truncated at the cap — is still returned before io.EOF, never
+// swallowed into it.
+//
+//loopvet:hot
+func (s *lineScanner) next() (line []byte, tooLong bool, err error) {
+	chunk, rerr := s.br.ReadSlice('\n')
+	if rerr == nil && len(chunk) <= s.max {
+		// Whole line inside one bufio window: hand out the view.
+		return trimEOLBytes(chunk), false, nil
+	}
+	buf := s.buf[:0]
+	defer func() { s.buf = buf }()
+	for {
+		if !tooLong {
+			if len(buf)+len(chunk) > s.max {
+				keep := s.max - len(buf)
+				buf = append(buf, chunk[:keep]...)
+				tooLong = true
+			} else {
+				buf = append(buf, chunk...)
+			}
+		}
+		switch rerr {
+		case bufio.ErrBufferFull:
+			// line spans the read buffer; keep draining
+		case nil:
+			return trimEOLBytes(buf), tooLong, nil
+		case io.EOF:
+			if len(buf) == 0 {
+				return nil, false, io.EOF
+			}
+			return trimEOLBytes(buf), tooLong, nil
+		default:
+			return trimEOLBytes(buf), tooLong, rerr
+		}
+		chunk, rerr = s.br.ReadSlice('\n')
+	}
+}
+
+// trimEOLBytes strips a trailing "\n" or "\r\n" in place — the
+// successor of the old trimEOL, which copied every line into a string
+// to do the same trims.
+//
+//loopvet:hot
+func trimEOLBytes(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// asciiSpace mirrors the ASCII white-space set strings.Fields and
+// strings.TrimSpace use on their fast paths.
+func asciiSpace(c byte) bool {
+	switch c {
+	case '\t', '\n', '\v', '\f', '\r', ' ':
+		return true
+	}
+	return false
+}
+
+// trimSpaceRange returns [lo, hi) narrowed so b[lo:hi] has leading and
+// trailing Unicode white space removed, matching strings.TrimSpace
+// (including its treatment of invalid UTF-8: a bad byte stops the
+// trim). Working in offsets keeps header parsing allocation-free while
+// the kind span still points into the original line.
+func trimSpaceRange(b []byte, lo, hi int) (int, int) {
+	for lo < hi {
+		if c := b[lo]; c < utf8.RuneSelf {
+			if !asciiSpace(c) {
+				break
+			}
+			lo++
+			continue
+		}
+		r, size := utf8.DecodeRune(b[lo:hi])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		lo += size
+	}
+	for hi > lo {
+		if c := b[hi-1]; c < utf8.RuneSelf {
+			if !asciiSpace(c) {
+				break
+			}
+			hi--
+			continue
+		}
+		r, size := utf8.DecodeLastRune(b[lo:hi])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		hi -= size
+	}
+	return lo, hi
+}
+
+// isBlank reports whether the line is all white space, the lines the
+// parse loop silently skips (strings.TrimSpace(line) == "" before).
+func isBlank(line []byte) bool {
+	lo, hi := trimSpaceRange(line, 0, len(line))
+	return lo >= hi
+}
+
+// fieldsInfo returns the first white-space-separated field of line and
+// whether the line has at least three fields — the header-shape gate
+// the string parser expressed as len(strings.Fields(line)) >= 3. Field
+// splitting follows strings.Fields (unicode.IsSpace separators).
+func fieldsInfo(line []byte) (first []byte, enough bool) {
+	n := 0
+	var f0lo, f0hi int
+	i := 0
+	for i < len(line) {
+		if c := line[i]; c < utf8.RuneSelf {
+			if asciiSpace(c) {
+				i++
+				continue
+			}
+		} else {
+			r, size := utf8.DecodeRune(line[i:])
+			if unicode.IsSpace(r) {
+				i += size
+				continue
+			}
+		}
+		start := i
+	field:
+		for i < len(line) {
+			if c := line[i]; c < utf8.RuneSelf {
+				if asciiSpace(c) {
+					break field
+				}
+				i++
+			} else {
+				r, size := utf8.DecodeRune(line[i:])
+				if unicode.IsSpace(r) {
+					break field
+				}
+				i += size
+			}
+		}
+		n++
+		if n == 1 {
+			f0lo, f0hi = start, i
+		}
+		if n == 3 {
+			return line[f0lo:f0hi], true
+		}
+	}
+	return line[f0lo:f0hi], false
+}

@@ -201,6 +201,22 @@ func FuzzStreamParity(f *testing.F) {
 	if data, err := os.ReadFile(filepath.Join("testdata", "corrupt_restart.log")); err == nil {
 		f.Add(string(data), int64(5), 0.2)
 	}
+	// Interning-relevant shapes: one cell line shared by many events and
+	// runs of identical message names — the memo/intern tables must not
+	// leak state between pooled parses under corruption.
+	f.Add(strings.Repeat(
+		"00:00:01.000 NR5G RRC OTA Packet -- UL_CCCH / RRCSetupRequest\n"+
+			"  Physical Cell ID = 393, Freq = 521310\n", 12), int64(6), 0.15)
+	f.Add(strings.Repeat("00:00:02.000 LTE RRC OTA Packet -- DL_DCCH / RRCConnectionRelease\n", 10), int64(7), 0.3)
+	// CRLF/LF mixes: the byte-path EOL trim must agree with the string
+	// path whatever terminator the corruptor leaves behind.
+	f.Add("00:00:01.000 NR5G RRC OTA Packet -- UL_CCCH / RRCSetupRequest\r\n"+
+		"  Physical Cell ID = 393, Freq = 521310\r\n"+
+		"00:00:02.000 SYS -- EXCEPTION\n  mm5g_state DEREGISTERED, substate NO_CELL_AVAILABLE\r\n", int64(8), 0.25)
+	// A line past the 4 MiB cap: oversized resync under corruption.
+	f.Add("00:00:01.000 NR5G RRC OTA Packet -- UL_CCCH / RRCSetupRequest\n"+
+		"  Physical Cell ID = 393, Freq = 521310\n"+
+		strings.Repeat("z", maxLineBytes+3)+"\n", int64(9), 0.05)
 	f.Fuzz(func(t *testing.T, input string, seed int64, rate float64) {
 		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
 			rate = 0
@@ -225,7 +241,9 @@ func FuzzStreamParity(f *testing.F) {
 		if err != nil {
 			t.Fatalf("streamed lenient parse errored: %v", err)
 		}
-		if !reflect.DeepEqual(logA.Events, logB.Events) || !reflect.DeepEqual(salA, salB) {
+		// NaN-aware: Sscanf's %f accepts "NaN", and corruption can forge
+		// one; both paths then hold NaN, which DeepEqual misreports.
+		if !eventsEquivalent(logA, logB) || !reflect.DeepEqual(salA, salB) {
 			t.Fatalf("streamed parse result diverges: %d/%+v vs %d/%+v",
 				logB.Len(), salB, logA.Len(), salA)
 		}

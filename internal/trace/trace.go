@@ -256,35 +256,66 @@ type extractor struct {
 // starts with an IDLE step at t=0.
 func Extract(log *sig.Log) *Timeline { return FromLog(log) }
 
-// FromLog folds a signaling log into a timeline, tolerating the clock
-// artifacts of salvaged captures: when an event's timestamp regresses
-// (a logger restart reset the clock, or a jump moved it backwards), the
-// stream is re-anchored at the latest observed time and subsequent
-// offsets stay monotonic. Clean captures are untouched — the resync
-// offset stays zero.
-func FromLog(log *sig.Log) *Timeline {
-	ex := &extractor{
+// Builder folds capture events into a timeline incrementally, one event
+// per Append. It implements sig.Sink, so a streaming parser can feed
+// extraction directly — no materialized event log between the two
+// stages. The clock-resync behavior is exactly FromLog's: when an
+// event's timestamp regresses (a logger restart reset the clock, or a
+// jump moved it backwards), the stream is re-anchored at the latest
+// observed time and subsequent offsets stay monotonic. Clean captures
+// are untouched — the resync offset stays zero.
+//
+// A Builder must not be reused after Finish.
+type Builder struct {
+	ex           extractor
+	offset, last time.Duration
+}
+
+var _ sig.Sink = (*Builder)(nil)
+
+// NewBuilder returns a Builder whose timeline starts, like every
+// extracted timeline, with an IDLE step at t=0.
+func NewBuilder() *Builder {
+	b := &Builder{ex: extractor{
 		scellIndex: make(map[int]cell.Ref),
 		seenInRept: make(map[cell.Ref]bool),
 		lastMeas:   make(map[cell.Ref]rrc.MeasEntry),
+	}}
+	b.ex.push(0, cell.Idle(), newEvidence(CauseNone))
+	return b
+}
+
+// Append folds one event, applying the monotonic clock resync.
+// It implements sig.Sink.
+func (b *Builder) Append(at time.Duration, m rrc.Message) {
+	at += b.offset
+	if at < b.last {
+		// Clock went backwards: treat the streams as contiguous.
+		b.offset += b.last - at
+		at = b.last
 	}
-	ex.push(0, cell.Idle(), newEvidence(CauseNone))
-	var offset, last time.Duration
+	b.last = at
+	b.ex.handle(at, m)
+}
+
+// Finish seals the timeline: observation ends at the last event time
+// (never before the last step).
+func (b *Builder) Finish() *Timeline {
+	b.ex.tl.Duration = b.last
+	if last := b.ex.tl.Steps[len(b.ex.tl.Steps)-1].At; b.ex.tl.Duration < last {
+		b.ex.tl.Duration = last
+	}
+	return &b.ex.tl
+}
+
+// FromLog folds a signaling log into a timeline, tolerating the clock
+// artifacts of salvaged captures (see Builder for the resync rule).
+func FromLog(log *sig.Log) *Timeline {
+	b := NewBuilder()
 	for _, e := range log.Events {
-		at := e.At + offset
-		if at < last {
-			// Clock went backwards: treat the streams as contiguous.
-			offset += last - at
-			at = last
-		}
-		last = at
-		ex.handle(at, e.Msg)
+		b.Append(e.At, e.Msg)
 	}
-	ex.tl.Duration = last
-	if ex.tl.Duration < ex.tl.Steps[len(ex.tl.Steps)-1].At {
-		ex.tl.Duration = ex.tl.Steps[len(ex.tl.Steps)-1].At
-	}
-	return &ex.tl
+	return b.Finish()
 }
 
 // push appends a step if the set actually changed.
