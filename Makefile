@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
 # Pipeline benchmarks recorded by bench-baseline into BENCH_pipeline.json.
-PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|ParseReuse|StringCorruptParse|StreamCorruptParse)$$
+PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|ParseReuse|StringCorruptParse|StreamCorruptParse|StreamDetect)$$
 
 # Parse benchmarks whose allocs/op regressions fail bench-compare at ANY
 # growth: these parse one fixed capture, so their allocation count is
@@ -61,6 +61,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseLenient$$ -fuzztime=$(FUZZTIME) ./internal/sig
 	$(GO) test -run=NONE -fuzz=FuzzStreamParity$$ -fuzztime=$(FUZZTIME) ./internal/sig
 	$(GO) test -run=NONE -fuzz=FuzzParseBytes$$ -fuzztime=$(FUZZTIME) ./internal/sig
+	$(GO) test -run=NONE -fuzz=FuzzStreamDetectParity$$ -fuzztime=$(FUZZTIME) ./internal/core
 
 # bench is the smoke run CI performs: every benchmark compiles and
 # executes once; full-study benchmarks skip themselves under -short.

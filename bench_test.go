@@ -289,6 +289,29 @@ func BenchmarkDetectClassify(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamDetect measures incremental loop detection: every
+// timeline step pushed through a fresh stream detector plus the flush
+// that finalizes forms — the work `-follow` and the fused campaign
+// detect stage add on top of extraction.
+func BenchmarkStreamDetect(b *testing.B) {
+	op, dep, cl := benchRunSetup(b)
+	res := uesim.Run(uesim.Config{Op: op, Field: dep.Field, Cluster: cl,
+		Duration: 5 * time.Minute, Seed: 7})
+	tl := trace.Extract(res.Log)
+	want := len(core.DetectAll(tl))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd := core.NewStreamDetector(core.StreamConfig{})
+		for _, s := range tl.Steps {
+			sd.Push(s)
+		}
+		if got := len(sd.Flush(tl.Duration)); got != want {
+			b.Fatalf("stream found %d loops, batch %d", got, want)
+		}
+	}
+}
+
 // BenchmarkThroughput measures the speed-series generator.
 func BenchmarkThroughput(b *testing.B) {
 	op, dep, cl := benchRunSetup(b)

@@ -34,13 +34,17 @@ func main() {
 // app carries one invocation's flags and streams, so tests can drive
 // the full CLI without touching the process state.
 type app struct {
-	jsonOut bool
-	lenient bool
-	metrics bool
-	stdin   io.Reader
-	stdout  io.Writer
-	stderr  io.Writer
-	reg     *obs.Registry
+	jsonOut  bool
+	lenient  bool
+	metrics  bool
+	followOn bool
+	poll     time.Duration
+	idleExit time.Duration
+	horizon  int
+	stdin    io.Reader
+	stdout   io.Writer
+	stderr   io.Writer
+	reg      *obs.Registry
 }
 
 // collector adapts the optional registry to the observation interface.
@@ -70,6 +74,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.BoolVar(&a.jsonOut, "json", false, "emit machine-readable JSON instead of text")
 	fs.BoolVar(&a.lenient, "lenient", false, "salvage a damaged capture: quarantine malformed records and report what was dropped")
 	fs.BoolVar(&a.metrics, "metrics", false, "print an observability snapshot (stable JSON) to stderr after the command")
+	fs.BoolVar(&a.followOn, "follow", false, "with analyze: tail the capture as it grows and emit a loop record per lifecycle event (always lenient)")
+	fs.DurationVar(&a.poll, "poll", 200*time.Millisecond, "with -follow: how often to re-check the capture file for growth")
+	fs.DurationVar(&a.idleExit, "idle-exit", 0, "with -follow: stop once the capture has not grown for this long (0 = follow until interrupted)")
+	fs.IntVar(&a.horizon, "horizon", 0, "with -follow: bound detection to cycles of at most this many steps, capping memory (0 = unbounded)")
 	debug := fs.String("debug-addr", "", "serve pprof/expvar/metrics on this address while the command runs")
 	fs.Usage = func() { a.usage() }
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +144,8 @@ func (a *app) usage() {
 
 usage (add -json before the subcommand for machine-readable output;
 add -lenient to salvage corrupted captures instead of aborting;
+add -follow to tail a growing capture and emit loops as they complete
+their second repetition (-poll, -idle-exit, -horizon tune it);
 add -metrics to print an observability snapshot to stderr;
 add -debug-addr host:port to serve pprof/expvar while running):
   loopctl analyze <logfile|->   analyze an NSG-style signaling log
@@ -200,8 +210,12 @@ func (a *app) export(path string) error {
 
 // analyze parses and reports one log file. With -lenient the capture is
 // salvaged: malformed records are quarantined and summarized instead of
-// aborting the analysis.
+// aborting the analysis. With -follow the capture is tailed as it grows
+// and loops are reported live as they are decided (see follow.go).
 func (a *app) analyze(path string) error {
+	if a.followOn {
+		return a.follow(path)
+	}
 	r := a.stdin
 	if path != "-" {
 		f, err := os.Open(path)

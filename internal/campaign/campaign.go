@@ -469,6 +469,7 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 	}
 	var log *sig.Log
 	var tb *trace.Builder
+	var sd *core.StreamDetector
 	var abort error
 	if opts.FaultRates != nil {
 		// Stream the run end-to-end: the simulator emits into a pipe,
@@ -507,8 +508,14 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 		// The parser tees every kept event into a trace.Builder as it is
 		// parsed, so extraction runs fused with the parse stage and the
 		// StageExtract span below only measures Finish (see
-		// docs/OBSERVABILITY.md).
+		// docs/OBSERVABILITY.md). The builder in turn tees every timeline
+		// step into a StreamDetector, so loop detection also runs during
+		// the parse pass; the StageDetect span below measures only the
+		// flush that finalizes forms. The unbounded horizon keeps the
+		// record provably identical to core.Analyze (see core.StreamDetector).
 		tb = trace.NewBuilder()
+		sd = core.NewStreamDetector(core.StreamConfig{Metrics: opts.Metrics})
+		tb.TeeSteps(sd.Push)
 		endParse := startStage(opts.Metrics, obs.StageParse)
 		salvaged, sal, err := sig.ParseLenientObservedTee(inj.Reader(pr), opts.Metrics, tb)
 		endParse()
@@ -551,7 +558,14 @@ func runOnce(ctx context.Context, op *policy.Operator, dep *deploy.Deployment, c
 	endExtract()
 	rec.Timeline = tl
 	endDetect := startStage(opts.Metrics, obs.StageDetect)
-	rec.Analysis = core.Analyze(tl)
+	if sd != nil {
+		// Streamed path: detection already ran alongside the parse; the
+		// flush finalizes open-loop forms and re-attaches the records to
+		// the finished timeline, byte-identical to core.Analyze(tl).
+		rec.Analysis = sd.FinishAnalysis(tl)
+	} else {
+		rec.Analysis = core.Analyze(tl)
+	}
 	endDetect()
 	endAnalyze := startStage(opts.Metrics, obs.StageAnalyze)
 	for _, e := range log.Events {

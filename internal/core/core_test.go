@@ -422,3 +422,87 @@ func TestLoopFingerprint(t *testing.T) {
 		t.Error("real loop rendered as empty")
 	}
 }
+
+// setTimeline builds a timeline directly from cell sets, one step per
+// second, with the given observation duration.
+func setTimeline(sets []cell.Set, durMS int) *trace.Timeline {
+	steps := make([]trace.Step, len(sets))
+	for i, s := range sets {
+		steps[i] = trace.Step{At: at(i * 1000), Set: s}
+	}
+	return &trace.Timeline{Steps: steps, Duration: at(durMS)}
+}
+
+// TestFingerprintRotationWithRepeatedMinimum: when the
+// lexicographically smallest cycle key occurs more than once, the
+// canonical rotation must still be unique — two observations of the
+// same loop entered at different phases have to agree. The idle key
+// ("-|-") sorts below every connected key and appears twice here, so a
+// first-occurrence rule would hash A,B,A,C and A,C,A,B differently.
+func TestFingerprintRotationWithRepeatedMinimum(t *testing.T) {
+	idle := cell.Idle()
+	onB := cell.Set{MCG: cell.NewGroup(band.RATNR, ref("393@521310"))}
+	onC := cell.Set{MCG: cell.NewGroup(band.RATNR, ref("540@501390"))}
+	loop := func(sets ...cell.Set) *Loop {
+		return &Loop{Start: 0, CycleLen: len(sets), Reps: MinReps,
+			End: len(sets), Timeline: setTimeline(sets, len(sets)*1000)}
+	}
+	phase0 := loop(idle, onB, idle, onC)
+	phase2 := loop(idle, onC, idle, onB) // same cycle observed two steps later
+	if phase0.Fingerprint() != phase2.Fingerprint() {
+		t.Errorf("rotations of one cycle hash differently: %s vs %s",
+			phase0.Fingerprint(), phase2.Fingerprint())
+	}
+	distinct := loop(idle, onB, onC, idle) // not a rotation of the above
+	if distinct.Fingerprint() == phase0.Fingerprint() {
+		t.Errorf("distinct cycle shares fingerprint %s", phase0.Fingerprint())
+	}
+}
+
+// TestCyclesTruncatedDurationClamp: a salvaged capture can carry an
+// observation duration before the last step's timestamp; the final
+// repetition's Off share must clamp to zero, never go negative.
+func TestCyclesTruncatedDurationClamp(t *testing.T) {
+	on := cell.Set{MCG: cell.NewGroup(band.RATNR, ref("393@521310"))}
+	idle := cell.Idle()
+	// Last repetition starts at 2s, but the recorded duration is 1.5s.
+	tl := setTimeline([]cell.Set{on, idle, on, idle}, 1500)
+	loops := DetectAll(tl)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	cycles := loops[0].Cycles()
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %d, want 2", len(cycles))
+	}
+	for i, c := range cycles {
+		if c.Off < 0 || c.On < 0 {
+			t.Errorf("cycle %d: negative share: %+v", i, c)
+		}
+	}
+	if last := cycles[1]; last.On != 0 || last.Off != 0 {
+		t.Errorf("truncated final cycle = %+v, want zero shares", last)
+	}
+}
+
+// TestDetectAllFindsLoopInsideRejectedWindow: rejecting a candidate
+// start must advance the scan by one step, not past the examined
+// window, so a shorter loop beginning mid-window is still found.
+func TestDetectAllFindsLoopInsideRejectedWindow(t *testing.T) {
+	onX := cell.Set{MCG: cell.NewGroup(band.RATNR, ref("660@521310"))}
+	onA := cell.Set{MCG: cell.NewGroup(band.RATNR, ref("393@521310"))}
+	idle := cell.Idle()
+	// Candidate at step 0 (onX) is rejected at every admissible cycle
+	// length, but the (onA, idle) loop starting inside that first
+	// examined window must still be detected.
+	tl := setTimeline([]cell.Set{onX, onA, idle, onA, idle, onA, idle}, 7000)
+	loops := DetectAll(tl)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Start != 1 || l.CycleLen != 2 || l.Reps != 3 || l.Form != FormPersistent {
+		t.Errorf("loop = start=%d len=%d reps=%d form=%v, want start=1 len=2 reps=3 II-P",
+			l.Start, l.CycleLen, l.Reps, l.Form)
+	}
+}

@@ -66,18 +66,23 @@ func (l *Loop) CycleKeys() []string {
 // The paper uses exactly this notion when it confirms that loops
 // observed at different locations "are indeed independent per location"
 // (§4.1) and when it re-identifies a loop instance across runs (§6).
-func (l *Loop) Fingerprint() string {
-	// FNV-1a over the cycle keys, rotated to a canonical start so the
-	// fingerprint does not depend on which set the detector anchored
-	// on. The canonical rotation starts at the lexicographically
-	// smallest key.
-	keys := l.CycleKeys()
+func (l *Loop) Fingerprint() string { return fingerprintKeys(l.CycleKeys()) }
+
+// fingerprintKeys hashes one cycle's keys (FNV-1a), rotated to a
+// canonical start so the fingerprint does not depend on which set the
+// detector anchored on. The canonical rotation is the lexicographically
+// least rotation of the whole key sequence: anchoring on the smallest
+// single key alone is ambiguous when that key appears more than once in
+// the cycle (e.g. A B A C vs its rotation A C A B), and two rotations
+// of the same cycle would then hash differently, breaking cross-run
+// loop re-identification (§6).
+func fingerprintKeys(keys []string) string {
 	if len(keys) == 0 {
 		return "loop:empty"
 	}
 	start := 0
 	for i := 1; i < len(keys); i++ {
-		if keys[i] < keys[start] {
+		if rotationLess(keys, i, start) {
 			start = i
 		}
 	}
@@ -96,6 +101,19 @@ func (l *Loop) Fingerprint() string {
 	return fmt.Sprintf("loop:%016x", h)
 }
 
+// rotationLess reports whether the rotation of keys starting at a is
+// lexicographically smaller (element-wise) than the one starting at b.
+func rotationLess(keys []string, a, b int) bool {
+	n := len(keys)
+	for i := 0; i < n; i++ {
+		ka, kb := keys[(a+i)%n], keys[(b+i)%n]
+		if ka != kb {
+			return ka < kb
+		}
+	}
+	return false
+}
+
 // MinReps is the minimum number of repetitions for a subsequence to
 // count as a loop ("repeatedly observed twice or more", §4.1).
 const MinReps = 2
@@ -111,12 +129,18 @@ func Detect(tl *trace.Timeline) (*Loop, bool) {
 
 // DetectAll finds every non-overlapping ON-OFF loop, scanning left to
 // right; a semi-persistent loop may be followed by another loop.
-func DetectAll(tl *trace.Timeline) []*Loop {
+func DetectAll(tl *trace.Timeline) []*Loop { return DetectAllHorizon(tl, 0) }
+
+// DetectAllHorizon is DetectAll with the cycle length capped at horizon
+// steps; 0 means uncapped. It is the batch reference for a bounded
+// StreamDetector: a detector with Horizon H produces exactly the loops
+// of DetectAllHorizon(tl, H) on the complete timeline.
+func DetectAllHorizon(tl *trace.Timeline, horizon int) []*Loop {
 	keys := tl.Keys()
 	n := len(keys)
 	var loops []*Loop
 	for k := 0; k < n; {
-		l := detectAt(tl, keys, k)
+		l := detectAt(tl, keys, k, horizon)
 		if l == nil {
 			k++
 			continue
@@ -130,12 +154,12 @@ func DetectAll(tl *trace.Timeline) []*Loop {
 // detectAt looks for a loop whose first cycle starts at step k. Per
 // Figure 4 the cycle must start with a 5G-ON set and contain a 5G-OFF
 // set; the shortest repeating cycle wins.
-func detectAt(tl *trace.Timeline, keys []string, k int) *Loop {
+func detectAt(tl *trace.Timeline, keys []string, k, maxL int) *Loop {
 	n := len(keys)
 	if !tl.Steps[k].Set.Uses5G() {
 		return nil
 	}
-	for L := 2; k+MinReps*L <= n; L++ {
+	for L := 2; k+MinReps*L <= n && (maxL == 0 || L <= maxL); L++ {
 		// The cycle must end with 5G OFF so that each repetition is an
 		// ON→OFF→ON swing.
 		if tl.Steps[k+L-1].Set.Uses5G() {
@@ -199,7 +223,17 @@ func (l *Loop) Cycles() []CycleMetrics {
 		} else {
 			end = l.Timeline.Duration
 		}
+		// A truncated capture can carry a Duration shorter than the last
+		// step's timestamp; clamp the final repetition's end to the cycle
+		// start and to the ON time actually observed so Off is never
+		// negative.
+		if end < start {
+			end = start
+		}
 		on := l.Timeline.TimeIn5G(start, end)
+		if end < start+on {
+			end = start + on
+		}
 		out = append(out, CycleMetrics{Start: start, On: on, Off: end - start - on})
 	}
 	return out

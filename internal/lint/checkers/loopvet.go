@@ -51,8 +51,8 @@ var LayeringRules = map[string]Rule{
 		Reason: "the log format IS the methodology boundary; it may not import anything simulator-side"},
 	"trace": {Allow: []string{"band", "cell", "meas", "rrc", "sig", "units"},
 		Reason: "Appendix-B timeline folding works on parsed logs only (§4 methodology)"},
-	"core": {Allow: []string{"band", "cell", "meas", "rrc", "stats", "trace", "units"},
-		Reason: "detection/classification consumes only the parsed log timeline, like the paper's §4 pipeline"},
+	"core": {Allow: []string{"band", "cell", "meas", "obs", "rrc", "stats", "trace", "units"},
+		Reason: "detection/classification consumes only the parsed log timeline, like the paper's §4 pipeline; obs is observation-only (the stream detector's window counters)"},
 
 	// Simulator side.
 	"radio": {Allow: []string{"band", "cell", "geo", "meas", "units"},
@@ -92,6 +92,7 @@ var ClosedEnums = []Enum{
 	{Pkg: "internal/core", Type: "LoopType"},
 	{Pkg: "internal/core", Type: "Subtype"},
 	{Pkg: "internal/core", Type: "Form"},
+	{Pkg: "internal/core", Type: "StreamEventKind"},
 	{Pkg: "internal/trace", Type: "ReleaseKind"},
 	{Pkg: "internal/cell", Type: "State"},
 	{Pkg: "internal/meas", Type: "EventKind"},

@@ -231,6 +231,10 @@ type extractor struct {
 	tl  Timeline
 	cur cell.Set
 
+	// onStep, when set, observes every appended timeline step — the
+	// hook online loop detection rides (Builder.TeeSteps).
+	onStep func(Step)
+
 	// SCell index bookkeeping (sCellIndex → cell), per the add/release
 	// lists of RRCReconfiguration.
 	scellIndex map[int]cell.Ref
@@ -285,6 +289,24 @@ func NewBuilder() *Builder {
 	return b
 }
 
+// TeeSteps registers fn to receive every timeline step the builder
+// appends, at the moment it is appended — the hook that lets an
+// incremental consumer (core.StreamDetector) ride the fused
+// parse/extract pass. Steps already in the timeline (always at least
+// the initial IDLE step) are replayed to fn immediately, so a tee
+// registered after NewBuilder still sees the complete sequence. One tee
+// at a time: registering again replaces the previous one; nil removes
+// it.
+func (b *Builder) TeeSteps(fn func(Step)) {
+	b.ex.onStep = fn
+	if fn == nil {
+		return
+	}
+	for _, s := range b.ex.tl.Steps {
+		fn(s)
+	}
+}
+
 // Append folds one event, applying the monotonic clock resync.
 // It implements sig.Sink.
 func (b *Builder) Append(at time.Duration, m rrc.Message) {
@@ -324,7 +346,11 @@ func (ex *extractor) push(at time.Duration, s cell.Set, ev Evidence) {
 		return
 	}
 	ex.cur = s
-	ex.tl.Steps = append(ex.tl.Steps, Step{At: at, Set: s, Evidence: ev})
+	step := Step{At: at, Set: s, Evidence: ev}
+	ex.tl.Steps = append(ex.tl.Steps, step)
+	if ex.onStep != nil {
+		ex.onStep(step)
+	}
 }
 
 // resetONBookkeeping clears the per-ON-period measurement state.

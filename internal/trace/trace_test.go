@@ -561,3 +561,46 @@ func TestFromLogCleanUnchanged(t *testing.T) {
 		t.Errorf("duration = %v, want %v", tl.Duration, l.Duration())
 	}
 }
+
+// TestBuilderTeeSteps: a tee registered on a Builder observes every
+// timeline step exactly once and in order — including steps appended
+// before registration, which are replayed immediately so a late
+// consumer (the stream detector) starts from the same step zero the
+// finished timeline has.
+func TestBuilderTeeSteps(t *testing.T) {
+	log := s1e3Log(2)
+	b := NewBuilder()
+	var seen []Step
+	// NewBuilder itself pushes the initial IDLE step before any event;
+	// registering afterwards must replay it.
+	b.TeeSteps(func(s Step) { seen = append(seen, s) })
+	for _, e := range log.Events {
+		b.Append(e.At, e.Msg)
+	}
+	tl := b.Finish()
+	if len(seen) != len(tl.Steps) {
+		t.Fatalf("tee saw %d steps, timeline has %d", len(seen), len(tl.Steps))
+	}
+	for i := range seen {
+		if seen[i].At != tl.Steps[i].At || seen[i].Set.Key() != tl.Steps[i].Set.Key() {
+			t.Errorf("step %d: tee saw {%v %s}, timeline has {%v %s}",
+				i, seen[i].At, seen[i].Set.Key(), tl.Steps[i].At, tl.Steps[i].Set.Key())
+		}
+	}
+	if len(seen) == 0 || !seen[0].Set.IsIdle() {
+		t.Error("tee missed the initial IDLE step")
+	}
+
+	// A nil tee detaches cleanly.
+	b2 := NewBuilder()
+	calls := 0
+	b2.TeeSteps(func(Step) { calls++ })
+	b2.TeeSteps(nil)
+	for _, e := range log.Events {
+		b2.Append(e.At, e.Msg)
+	}
+	b2.Finish()
+	if calls != 1 { // only the replayed initial IDLE step
+		t.Errorf("detached tee called %d times, want 1", calls)
+	}
+}

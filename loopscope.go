@@ -77,6 +77,25 @@ type (
 	CycleMetrics = core.CycleMetrics
 	// Analysis bundles the loops of one run.
 	Analysis = core.Analysis
+	// TimelineBuilder folds capture events into a Timeline incrementally
+	// (it is a LogSink); TeeSteps exposes each step as it is appended.
+	TimelineBuilder = trace.Builder
+	// StreamLoopDetector detects loops incrementally from teed timeline
+	// steps, with bounded memory and live lifecycle events.
+	StreamLoopDetector = core.StreamDetector
+	// StreamDetectorConfig configures a StreamLoopDetector.
+	StreamDetectorConfig = core.StreamConfig
+	// StreamLoopEvent is one incremental detection announcement.
+	StreamLoopEvent = core.StreamEvent
+	// StreamLoopRecord is a self-contained detected-loop record.
+	StreamLoopRecord = core.StreamLoop
+)
+
+// Stream detection lifecycle events.
+const (
+	StreamLoopConfirmed = core.StreamConfirmed
+	StreamLoopRep       = core.StreamRep
+	StreamLoopClosed    = core.StreamClosed
 )
 
 // Loop sub-types (§5).
@@ -188,6 +207,34 @@ func ParseLogObserved(r io.Reader, c MetricsCollector) (*Log, error) {
 // flushed into c when the parse completes.
 func ParseLogLenientObserved(r io.Reader, c MetricsCollector) (*Log, *Salvage, error) {
 	return sig.ParseLenientObserved(r, c)
+}
+
+// ParseLogLenientObservedTee is ParseLogLenientObserved with every kept
+// event also delivered to tee as it is parsed. With a TimelineBuilder
+// as the tee, parsing and timeline extraction run as one fused pass;
+// add TimelineBuilder.TeeSteps into a StreamLoopDetector and loop
+// detection joins the same pass — the full live-analysis pipeline.
+func ParseLogLenientObservedTee(r io.Reader, c MetricsCollector, tee LogSink) (*Log, *Salvage, error) {
+	return sig.ParseLenientObservedTee(r, c, tee)
+}
+
+// NewTimelineBuilder returns a TimelineBuilder whose timeline starts,
+// like every extracted timeline, with an IDLE step at t=0.
+func NewTimelineBuilder() *TimelineBuilder { return trace.NewBuilder() }
+
+// NewStreamLoopDetector returns an incremental loop detector; feed it
+// timeline steps via TimelineBuilder.TeeSteps (or Push directly) and
+// finish with Flush. See core.StreamDetector for the equivalence
+// contract with DetectLoops.
+func NewStreamLoopDetector(cfg StreamDetectorConfig) *StreamLoopDetector {
+	return core.NewStreamDetector(cfg)
+}
+
+// DetectLoopsHorizon is DetectLoops with the cycle length capped at
+// horizon steps (0 = uncapped) — the batch reference for a bounded
+// StreamLoopDetector.
+func DetectLoopsHorizon(tl *Timeline, horizon int) []*Loop {
+	return core.DetectAllHorizon(tl, horizon)
 }
 
 // Capture fault injection (testing analysis pipelines against the
