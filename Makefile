@@ -18,7 +18,7 @@ PIPELINE_BENCH = ^Benchmark(Emit|StringParse|StreamParse|StreamParseObserved|Par
 # by a count or two with b.N.
 STRICT_ALLOC_BENCH = ^Benchmark(StringParse|StreamParse|StreamParseObserved|ParseReuse)$$
 
-.PHONY: all build lint loopvet staticcheck vulncheck test crash-resume fuzz bench bench-baseline bench-compare clean
+.PHONY: all build lint loopvet loopvet-stats staticcheck vulncheck test crash-resume fuzz bench bench-baseline bench-compare clean
 
 all: build lint test
 
@@ -37,8 +37,18 @@ lint: loopvet
 		exit 1; \
 	fi
 
+# The budget bounds any single analyzer's wall time (the callgraph
+# build counts as its own entry); a breach fails the target like a
+# finding would. Keep in sync with ci.yml.
+LOOPVET_BUDGET ?= 30s
+
 loopvet:
-	$(GO) run ./cmd/loopvet ./...
+	$(GO) run ./cmd/loopvet -stats -budget $(LOOPVET_BUDGET) ./...
+
+# loopvet-stats writes the machine-readable per-analyzer cost/yield
+# report CI uploads as an artifact.
+loopvet-stats:
+	$(GO) run ./cmd/loopvet -stats -budget $(LOOPVET_BUDGET) -json ./... > loopvet-stats.json
 
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...

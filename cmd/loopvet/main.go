@@ -13,6 +13,7 @@
 //	go run ./cmd/loopvet ./...                 lint the whole module
 //	go run ./cmd/loopvet -json ./...           machine-readable output for CI
 //	go run ./cmd/loopvet -waivers ./...        list the //lint:ignore inventory
+//	go run ./cmd/loopvet -stats ./...          per-analyzer wall time and yield
 //	go run ./cmd/loopvet -only lockcheck ./... run a subset of the suite
 //	go run ./cmd/loopvet -skip hotalloc ./...  run all but a subset
 //
@@ -22,6 +23,15 @@
 // (ctxflow runs ctxlaunch) even when they are not named. With -json
 // the findings mode emits an object {"analyzers": [...], "findings":
 // [...]} so CI can see which analyzers actually gated the run.
+//
+// -stats appends a per-analyzer cost table — wall time summed over
+// every package pass plus surviving finding counts, with a "callgraph"
+// pseudo-entry for the shared module-wide call-graph build — after the
+// findings (under -json the object gains a "stats" key). -budget, which
+// implies -stats, turns the table into a gate: if any single entry
+// exceeds the duration (e.g. -budget 30s), the run exits 1 even when
+// the tree is clean, so an analyzer that quietly grows quadratic cost
+// fails CI instead of taxing every developer.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings
 // can be waived in source with
@@ -45,6 +55,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"time"
 
 	"github.com/mssn/loopscope/internal/lint/analysis"
 	"github.com/mssn/loopscope/internal/lint/checkers"
@@ -62,10 +73,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON output")
 	waiversOut := fs.Bool("waivers", false, "list the //lint:ignore waiver inventory instead of findings")
+	statsOut := fs.Bool("stats", false, "append per-analyzer wall time and finding counts")
+	budget := fs.Duration("budget", 0, "fail if any single analyzer (or the callgraph build) exceeds this wall time; implies -stats")
 	only := fs.String("only", "", "comma-separated analyzer names to run; everything else is skipped")
 	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: loopvet [-json] [-waivers] [-only names] [-skip names] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: loopvet [-json] [-waivers] [-stats] [-budget dur] [-only names] [-skip names] [packages]\n\nAnalyzers:\n")
 		for _, a := range checkers.Suite("") {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -120,6 +133,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *budget > 0 {
+		*statsOut = true
+	}
 	if *jsonOut {
 		if findings == nil {
 			findings = []driver.Finding{}
@@ -131,7 +147,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report := struct {
 			Analyzers []string         `json:"analyzers"`
 			Findings  []driver.Finding `json:"findings"`
-		}{names, findings}
+			Stats     []driver.Stat    `json:"stats,omitempty"`
+		}{names, findings, nil}
+		if *statsOut {
+			report.Stats = res.Stats
+			if report.Stats == nil {
+				report.Stats = []driver.Stat{}
+			}
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -142,8 +165,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, f := range findings {
 			fmt.Fprintln(w, f)
 		}
+		if *statsOut {
+			fmt.Fprintf(w, "%-12s %10s %9s\n", "analyzer", "wall_ms", "findings")
+			for _, s := range res.Stats {
+				fmt.Fprintf(w, "%-12s %10.1f %9d\n", s.Analyzer, s.WallMS, s.Findings)
+			}
+		}
 	}
-	if len(findings) > 0 {
+	over := false
+	if *budget > 0 {
+		limit := float64(*budget) / float64(time.Millisecond)
+		for _, s := range res.Stats {
+			if s.WallMS > limit {
+				fmt.Fprintf(stderr, "loopvet: %s took %.1fms, over the %s budget\n",
+					s.Analyzer, s.WallMS, *budget)
+				over = true
+			}
+		}
+	}
+	if len(findings) > 0 || over {
 		return 1
 	}
 	return 0

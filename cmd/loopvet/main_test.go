@@ -82,6 +82,11 @@ type jsonReport struct {
 		Line     int    `json:"line"`
 		Message  string `json:"message"`
 	} `json:"findings"`
+	Stats []struct {
+		Analyzer string  `json:"analyzer"`
+		WallMS   float64 `json:"wall_ms"`
+		Findings int     `json:"findings"`
+	} `json:"stats"`
 }
 
 func contains(list []string, s string) bool {
@@ -224,6 +229,83 @@ func TestRunCleanPackage(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestRunStats checks the -stats table: every selected analyzer gets a
+// row, the shared call-graph build gets its pseudo-row, and finding
+// counts land on the analyzer that produced them.
+func TestRunStats(t *testing.T) {
+	bad, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "driver", "testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, bad)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-stats", "-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a JSON report object: %v\n%s", err, out.String())
+	}
+	rows := map[string]int{}
+	for _, s := range report.Stats {
+		if s.WallMS < 0 {
+			t.Errorf("stat %s has negative wall time %f", s.Analyzer, s.WallMS)
+		}
+		rows[s.Analyzer] = s.Findings
+	}
+	if _, ok := rows["callgraph"]; !ok {
+		t.Errorf("stats are missing the callgraph pseudo-entry: %v", rows)
+	}
+	total := 0
+	for _, s := range report.Stats {
+		total += s.Findings
+	}
+	if total != len(report.Findings) {
+		t.Errorf("stats count %d findings, report has %d", total, len(report.Findings))
+	}
+	// Every selected analyzer has a row; the Requires closure may add
+	// fact-producer rows (unitdecl, ctxlaunch) on top.
+	for _, name := range report.Analyzers {
+		if _, ok := rows[name]; !ok {
+			t.Errorf("stats are missing a row for %s: %v", name, rows)
+		}
+	}
+
+	// Text mode renders the same rows as a table.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-stats", "-only", "determinism", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"analyzer", "wall_ms", "callgraph", "determinism"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats table is missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBudget checks the time gate: an absurdly small budget must
+// flip an otherwise clean run to exit 1 and say which entry breached.
+func TestRunBudget(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-budget", "1ns", "./internal/meas"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "over the 1ns budget") {
+		t.Errorf("stderr is missing the budget breach: %s", errOut.String())
+	}
+	// -budget implies -stats, so the table is on stdout.
+	if !strings.Contains(out.String(), "wall_ms") {
+		t.Errorf("budget run did not print the stats table: %s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-budget", "10m", "./internal/meas"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0 under a generous budget; stderr: %s", code, errOut.String())
 	}
 }
 

@@ -381,6 +381,8 @@ func ExecuteRunContext(ctx context.Context, op *policy.Operator, dep *deploy.Dep
 
 // sleepBackoff waits out the retry backoff for the given attempt
 // (base·2^(attempt-1)), returning false if ctx was cancelled first.
+//
+//loopvet:detsafe retry pacing only: the timer decides when a failed run is retried, never what it produces — record bytes and delivery order stay seed-determined, and the crash-resume byte-identity tests gate that
 func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
 	if base <= 0 {
 		return true

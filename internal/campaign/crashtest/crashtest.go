@@ -58,7 +58,7 @@ func (f Fixture) CrashAt(path string, k, workers int) error {
 	o.CrashAfter = k
 	_, err := campaign.RunOperatorContext(context.Background(), f.Op, o)
 	if err != campaign.ErrInjectedCrash {
-		return fmt.Errorf("crashtest: CrashAt(%d) returned %v, want ErrInjectedCrash", k, err)
+		return fmt.Errorf("crashtest: CrashAt(%d) returned %w, want ErrInjectedCrash", k, err)
 	}
 	return nil
 }

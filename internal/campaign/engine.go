@@ -125,39 +125,37 @@ func (r *runner) openJournal() (*checkpoint.Salvage, error) {
 		return nil, err
 	}
 	fp := fingerprint(r.opts)
+	// failClosing folds the journal's close error into the path error:
+	// a close failure on a journal we are abandoning is still a report
+	// about durability the caller must see.
+	failClosing := func(err error) error { return errors.Join(err, jr.Close()) }
 	if len(entries) == 0 {
 		if err := jr.Append(metaKey, fp); err != nil {
-			jr.Close()
-			return nil, err
+			return nil, failClosing(err)
 		}
 		r.jr = jr
 		return sal, nil
 	}
 	if !r.opts.Resume {
-		jr.Close()
-		return nil, fmt.Errorf("campaign: checkpoint journal %s already holds %d entries; set Options.Resume (flag -resume) to continue it, or remove the file",
-			r.opts.Checkpoint, len(entries))
+		return nil, failClosing(fmt.Errorf("campaign: checkpoint journal %s already holds %d entries; set Options.Resume (flag -resume) to continue it, or remove the file",
+			r.opts.Checkpoint, len(entries)))
 	}
 	if entries[0].Key != metaKey {
-		jr.Close()
-		return nil, fmt.Errorf("campaign: checkpoint journal %s has no options header; refusing to resume", r.opts.Checkpoint)
+		return nil, failClosing(fmt.Errorf("campaign: checkpoint journal %s has no options header; refusing to resume", r.opts.Checkpoint))
 	}
 	var have optsFingerprint
 	if err := json.Unmarshal(entries[0].Payload, &have); err != nil {
-		jr.Close()
-		return nil, fmt.Errorf("campaign: checkpoint journal %s: bad options header: %w", r.opts.Checkpoint, err)
+		return nil, failClosing(fmt.Errorf("campaign: checkpoint journal %s: bad options header: %w", r.opts.Checkpoint, err))
 	}
 	if hb, _ := json.Marshal(have); string(hb) != mustJSON(fp) {
-		jr.Close()
-		return nil, fmt.Errorf("campaign: checkpoint journal %s was written by a different study (journal %s, resume %s)",
-			r.opts.Checkpoint, mustJSON(have), mustJSON(fp))
+		return nil, failClosing(fmt.Errorf("campaign: checkpoint journal %s was written by a different study (journal %s, resume %s)",
+			r.opts.Checkpoint, mustJSON(have), mustJSON(fp)))
 	}
 	r.done = make(map[string]*Record, len(entries)-1)
 	for _, e := range entries[1:] {
 		rec, err := DecodeRecord(e.Payload)
 		if err != nil {
-			jr.Close()
-			return nil, fmt.Errorf("campaign: checkpoint journal %s: entry %q: %w", r.opts.Checkpoint, e.Key, err)
+			return nil, failClosing(fmt.Errorf("campaign: checkpoint journal %s: entry %q: %w", r.opts.Checkpoint, e.Key, err))
 		}
 		r.done[e.Key] = rec // duplicates: last entry wins, like the write order
 	}
@@ -367,7 +365,7 @@ func (r *runner) executeJob(ctx context.Context, op *policy.Operator, dep *deplo
 // runStudy drives the whole study through a runner: journal replay,
 // area execution, sink delivery.
 func runStudy(ctx context.Context, opts Options, specs []deploy.AreaSpec,
-	retain bool, extra Sink) (*Study, *checkpoint.Salvage, error) {
+	retain bool, extra Sink) (st *Study, sal *checkpoint.Salvage, rerr error) {
 	opts = opts.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
@@ -384,12 +382,19 @@ func runStudy(ctx context.Context, opts Options, specs []deploy.AreaSpec,
 		return nil, nil, err
 	}
 	if r.jr != nil {
-		defer r.jr.Close()
+		// A failed close after the final Sync means the journal's
+		// durability is in doubt; resume correctness depends on it, so
+		// the study must not look clean.
+		defer func() {
+			if cerr := r.jr.Close(); cerr != nil && rerr == nil {
+				rerr = cerr
+			}
+		}()
 	}
 	cctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	r.cancel = cancel
-	st := &Study{Opts: opts}
+	st = &Study{Opts: opts}
 	for _, spec := range specs {
 		if r.err(cctx) != nil {
 			break

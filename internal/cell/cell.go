@@ -39,11 +39,11 @@ func ParseRef(s string) (Ref, error) {
 	}
 	pci, err := strconv.Atoi(s[:i])
 	if err != nil {
-		return Ref{}, fmt.Errorf("cell: bad PCI in %q: %v", s, err)
+		return Ref{}, fmt.Errorf("cell: bad PCI in %q: %w", s, err)
 	}
 	ch, err := strconv.Atoi(s[i+1:])
 	if err != nil {
-		return Ref{}, fmt.Errorf("cell: bad channel in %q: %v", s, err)
+		return Ref{}, fmt.Errorf("cell: bad channel in %q: %w", s, err)
 	}
 	return Ref{PCI: pci, Channel: ch}, nil
 }

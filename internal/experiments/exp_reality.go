@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"github.com/mssn/loopscope/internal/campaign"
 	"github.com/mssn/loopscope/internal/core"
@@ -280,5 +279,3 @@ func Fig19(c *Context) *Result {
 
 // opByName resolves an operator alias to its policy profile.
 func opByName(name string) *policy.Operator { return policy.ByName(name) }
-
-var _ = time.Second

@@ -141,7 +141,6 @@ func Fig3(c *Context) *Result {
 		r.addf("t=%7s  %s%s", durS(s.At), desc, cause)
 		count++
 	}
-	a := core.Analyze(tl)
 	if loop, ok := core.Detect(tl); ok {
 		r.addf("loop: cycle of %d sets, %d repetitions, %v, classified %v",
 			loop.CycleLen, loop.Reps, loop.Form, core.Classify(loop))
@@ -152,7 +151,6 @@ func Fig3(c *Context) *Result {
 		}
 	}
 	r.set("mod_failures_shown", float64(mods))
-	_ = a
 	return r
 }
 

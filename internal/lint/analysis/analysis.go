@@ -66,6 +66,12 @@ type Pass struct {
 
 	Report func(Diagnostic)
 
+	// CallGraph is the module-wide call graph over every package of
+	// this run, shared by all passes. Interprocedural analyzers read
+	// per-function summaries off it (see BottomUp); intra-procedural
+	// analyzers ignore it. Nil when the host runs without one.
+	CallGraph *CallGraph
+
 	// ExportObjectFact associates fact with obj for downstream
 	// analyzers (same package or importers). Wired by the driver; nil
 	// when the host runs a single analyzer without fact support.

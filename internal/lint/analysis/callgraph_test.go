@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildGraph type-checks src as a single package and builds its call
+// graph. Fixtures stick to the standard library so the source importer
+// can resolve everything.
+func buildGraph(t *testing.T, src string) *CallGraph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cg_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("cgtest", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return BuildCallGraph([]CGSource{{Path: "cgtest", Files: []*ast.File{f}, Pkg: pkg, Info: info}})
+}
+
+// node finds the unique graph node whose function matches name —
+// either a bare function name or "Recv.Method".
+func node(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	var hit *CGNode
+	for _, n := range g.Nodes() {
+		if funcLabel(n.Func) == name {
+			if hit != nil {
+				t.Fatalf("more than one node named %s", name)
+			}
+			hit = n
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return hit
+}
+
+func funcLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// calleeLabels renders n's outgoing edges of the given kinds.
+func calleeLabels(n *CGNode, kinds ...EdgeKind) []string {
+	want := map[EdgeKind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []string
+	for _, e := range n.Out {
+		if len(want) > 0 && !want[e.Kind] {
+			continue
+		}
+		out = append(out, funcLabel(e.Callee))
+	}
+	return out
+}
+
+func hasLabel(labels []string, name string) bool {
+	for _, l := range labels {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInterfaceDispatchEdges(t *testing.T) {
+	g := buildGraph(t, `package cgtest
+
+type stepper interface{ Step() int }
+
+type slow struct{}
+
+func (slow) Step() int { return 1 }
+
+type fast struct{ n int }
+
+func (f *fast) Step() int { return f.n }
+
+func drive(s stepper) int { return s.Step() }
+`)
+	d := node(t, g, "drive")
+	got := calleeLabels(d, EdgeInterface)
+	for _, want := range []string{"slow.Step", "fast.Step"} {
+		if !hasLabel(got, want) {
+			t.Errorf("drive: missing interface edge to %s (got %v)", want, got)
+		}
+	}
+	if hasLabel(calleeLabels(d, EdgeStatic), "slow.Step") {
+		t.Errorf("drive: dispatch must not produce static edges")
+	}
+}
+
+func TestConcreteMethodCallIsStatic(t *testing.T) {
+	g := buildGraph(t, `package cgtest
+
+type box struct{ v int }
+
+func (b box) get() int { return b.v }
+
+func use(b box) int { return b.get() }
+`)
+	got := calleeLabels(node(t, g, "use"), EdgeStatic)
+	if !hasLabel(got, "box.get") {
+		t.Errorf("use: want static edge to box.get, got %v", got)
+	}
+}
+
+func TestFuncValueFieldCall(t *testing.T) {
+	g := buildGraph(t, `package cgtest
+
+type hooks struct{ fire func(int) int }
+
+func double(x int) int { return 2 * x }
+
+func triple(x int) int { return 3 * x }
+
+func other(x string) string { return x }
+
+func install() hooks { return hooks{fire: double} }
+
+func run(h hooks) int { return h.fire(4) }
+`)
+	got := calleeLabels(node(t, g, "run"), EdgeFuncValue)
+	if !hasLabel(got, "double") {
+		t.Errorf("run: want func-value edge to address-taken double, got %v", got)
+	}
+	// triple has the right shape but its value is never taken; other
+	// has the wrong signature. Neither may appear.
+	if hasLabel(got, "triple") || hasLabel(got, "other") {
+		t.Errorf("run: func-value candidates must be address-taken and signature-matched, got %v", got)
+	}
+	// The assignment itself must be visible as a reference edge.
+	refs := calleeLabels(node(t, g, "install"), EdgeRef)
+	if !hasLabel(refs, "double") {
+		t.Errorf("install: want ref edge to double, got %v", refs)
+	}
+}
+
+func TestFuncLitAttributedToEncloser(t *testing.T) {
+	g := buildGraph(t, `package cgtest
+
+func leaf() int { return 1 }
+
+func outer() func() int {
+	f := func() int {
+		return leaf()
+	}
+	return f
+}
+`)
+	got := calleeLabels(node(t, g, "outer"), EdgeStatic)
+	if !hasLabel(got, "leaf") {
+		t.Errorf("outer: call inside closure must be outer's edge, got %v", got)
+	}
+	for _, n := range g.Nodes() {
+		if n.Decl.Name.Name != "leaf" && n.Decl.Name.Name != "outer" {
+			t.Errorf("unexpected node %s: closures must not get nodes", n.Decl.Name.Name)
+		}
+	}
+}
+
+func TestMutualRecursionSCCCollapse(t *testing.T) {
+	g := buildGraph(t, `package cgtest
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func entry(n int) bool { return even(n) }
+`)
+	sccs := g.SCCs()
+	pos := map[string]int{}
+	for i, comp := range sccs {
+		for _, n := range comp {
+			pos[funcLabel(n.Func)] = i
+		}
+	}
+	if pos["even"] != pos["odd"] {
+		t.Errorf("even and odd must share an SCC: %v", pos)
+	}
+	if !(pos["even"] < pos["entry"]) {
+		t.Errorf("callee SCC must precede caller SCC (reverse topological): %v", pos)
+	}
+}
+
+func TestBottomUpPropagatesThroughSCC(t *testing.T) {
+	g := buildGraph(t, `package cgtest
+
+func sink() int { return 0 }
+
+func a(n int) int {
+	if n == 0 {
+		return sink()
+	}
+	return b(n - 1)
+}
+
+func b(n int) int { return a(n) }
+
+func top(n int) int { return b(n) }
+
+func clean(n int) int { return n }
+`)
+	sinkFn := node(t, g, "sink").Func
+	reaches := BottomUp(g, func(n *CGNode, get func(*types.Func) (bool, bool)) bool {
+		for _, e := range n.Out {
+			if e.Callee == sinkFn {
+				return true
+			}
+			if v, ok := get(e.Callee); ok && v {
+				return true
+			}
+		}
+		return false
+	})
+	for name, want := range map[string]bool{"a": true, "b": true, "top": true, "clean": false, "sink": false} {
+		if got := reaches[node(t, g, name).Func]; got != want {
+			t.Errorf("reaches[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestInterfaceDispatchViaStdlibMethodKept(t *testing.T) {
+	// A dispatch site whose interface is satisfied by no module type
+	// still records the interface method itself, so analyzers can
+	// classify stdlib interfaces at the call site.
+	g := buildGraph(t, `package cgtest
+
+import "io"
+
+func drain(r io.Reader, buf []byte) (int, error) { return r.Read(buf) }
+`)
+	got := calleeLabels(node(t, g, "drain"), EdgeInterface)
+	found := false
+	for _, l := range got {
+		if strings.Contains(l, "Read") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drain: want the interface method itself among edges, got %v", got)
+	}
+}

@@ -1,0 +1,16 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"github.com/mssn/loopscope/internal/lint/checkers"
+	"github.com/mssn/loopscope/internal/lint/linttest"
+)
+
+func TestErrFlowFlagging(t *testing.T) {
+	linttest.Run(t, testdata(t), "errbad", checkers.ErrFlow())
+}
+
+func TestErrFlowClean(t *testing.T) {
+	linttest.Run(t, testdata(t), "errclean", checkers.ErrFlow())
+}

@@ -122,6 +122,7 @@ var ApprovedFloatCmp = []string{
 func Suite(modulePath string) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Determinism(DeterminismScope),
+		ErrFlow(),
 		Layering(modulePath, LayeringRules, LayeringExempt),
 		Exhaustive(ClosedEnums),
 		Floatcmp(ApprovedFloatCmp),

@@ -31,3 +31,19 @@ func globalInt(n int) int {
 func hardSeed() *rand.Rand {
 	return rand.New(rand.NewSource(42)) // want "hard-coded RNG seed 42"
 }
+
+// refDodge takes the sink as a value instead of calling it at the
+// flagged site; the selector reference itself is the leak.
+func refDodge() time.Time {
+	now := time.Now // want "wall-clock read time.Now"
+	_ = now
+	return now()
+}
+
+// detsafeNoReason carries a reasonless directive: it must be flagged
+// AND must not clear the function's taint.
+//
+//loopvet:detsafe
+func detsafeNoReason() time.Time { // want "//loopvet:detsafe needs a reason"
+	return time.Now() // want "wall-clock read time.Now"
+}

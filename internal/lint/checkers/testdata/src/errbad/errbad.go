@@ -1,0 +1,84 @@
+// Package errbad exercises every errflow rule: bare discards, blank
+// discards, captured-but-never-checked errors (including the `_ = err`
+// dodge), and %v-wrapping of error operands.
+package errbad
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// ok always returns nil on every path, so discarding its result is
+// provably harmless and must not be flagged.
+func ok() error { return nil }
+
+func sink(int) {}
+
+// Bare exercises rule 1: a module-local error-returning call in
+// statement position, including the go/defer variants.
+func Bare() {
+	fail()       // want "error result of errbad.fail is silently discarded by the bare call"
+	go fail()    // want "error result of go errbad.fail is silently discarded"
+	defer fail() // want "error result of defer errbad.fail is silently discarded"
+	ok()         // always-nil callee: no finding
+}
+
+// Blank exercises rule 2: the explicit dodges. The all-blank form is
+// flagged for any callee (os.Remove is not module-local); the partial
+// blank only for module-local callees.
+func Blank() {
+	_ = fail()            // want "explicitly discarded with a blank assign"
+	_ = os.Remove("gone") // want "explicitly discarded with a blank assign"
+	v, _ := pair()        // want "error result of errbad.pair is explicitly discarded"
+	sink(v)
+	_ = ok() // always-nil callee: no finding
+}
+
+// NeverRead exercises rule 3: the error is captured, and the later
+// `_ = err` is a read of nothing — no path checks it.
+func NeverRead() {
+	err := fail() // want "error err is captured here but never checked on any path"
+	_ = err
+}
+
+// NeverReadBranch captures an error that only one branch checks — the
+// other path falls off the function end without reading it, but since
+// at least one path reads it, this must NOT be flagged.
+func NeverReadBranch(b bool) {
+	err := fail()
+	if b {
+		sink(0)
+		_ = err
+		return
+	}
+	if err != nil {
+		sink(1)
+	}
+}
+
+// Redefined captures an error and overwrites it on every path before
+// any read: the first capture is dead.
+func Redefined() error {
+	err := fail() // want "error err is captured here but never checked on any path"
+	err = fail()
+	return err
+}
+
+// Wrap exercises rule 4: fmt.Errorf with an error operand under %v or
+// %s severs the errors.Is/As chain.
+func Wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("load: %v", err) // want "severs the error chain; use %w"
+	}
+	return fmt.Errorf("load: %s", fail()) // want "severs the error chain; use %w"
+}
+
+// WrapOK uses %w (and %v on a non-error operand): no findings.
+func WrapOK(err error, n int) error {
+	return fmt.Errorf("load %v: %w", n, err)
+}

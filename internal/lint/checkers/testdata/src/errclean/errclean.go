@@ -1,0 +1,50 @@
+// Package errclean holds the idioms errflow must accept: checked
+// errors, returned errors, %w wrapping, always-nil suppression and a
+// reasoned waiver.
+package errclean
+
+import (
+	"errors"
+	"fmt"
+)
+
+func fail() error { return errors.New("boom") }
+
+// nilErr forwards through another always-nil function; the bottom-up
+// summary must see through the forwarding.
+func nilErr() error { return nil }
+
+func forward() error { return nilErr() }
+
+// Checked handles the error on the spot.
+func Checked() int {
+	if err := fail(); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// Returned propagates the error wrapped with %w.
+func Returned() error {
+	if err := fail(); err != nil {
+		return fmt.Errorf("step: %w", err)
+	}
+	return nil
+}
+
+// LaterCheck reads the error on one path only — that is enough.
+func LaterCheck(b bool) int {
+	err := fail()
+	if b && err != nil {
+		return 1
+	}
+	return 0
+}
+
+// Suppressed discards results of provably-nil callees, including the
+// forwarding chain.
+func Suppressed() {
+	nilErr()
+	forward()
+	_ = forward()
+}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/mssn/loopscope/internal/lint/analysis"
 	"github.com/mssn/loopscope/internal/lint/load"
@@ -63,11 +64,22 @@ type Options struct {
 	Analyzers []*analysis.Analyzer
 }
 
+// Stat is one analyzer's cost/yield line for a run: total wall time
+// across every package pass and the number of findings that survived
+// waivers. The pseudo-entry "callgraph" accounts for the module-wide
+// call graph build the interprocedural analyzers share.
+type Stat struct {
+	Analyzer string  `json:"analyzer"`
+	WallMS   float64 `json:"wall_ms"`
+	Findings int     `json:"findings"`
+}
+
 // Result is the full outcome of a run: findings plus the waiver
-// inventory of the requested packages.
+// inventory of the requested packages and per-analyzer stats.
 type Result struct {
 	Findings []Finding
 	Waivers  []Waiver
+	Stats    []Stat
 }
 
 // Run executes the suite and returns the surviving findings.
@@ -106,26 +118,49 @@ func RunDetail(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	facts := analysis.NewFactStore()
-	res := &Result{}
+	// Preload every package of the run, then build the module-wide
+	// call graph once — TopoOrder has already pulled the full
+	// dependency closure into the loader cache, so object identities
+	// line up across packages.
+	pkgs := make([]*load.Package, 0, len(order))
+	sources := make([]analysis.CGSource, 0, len(order))
 	for _, path := range order {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			return nil, err
 		}
+		pkgs = append(pkgs, pkg)
+		sources = append(sources, analysis.CGSource{
+			Path:  pkg.ImportPath,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		})
+	}
+	graphStart := time.Now()
+	graph := analysis.BuildCallGraph(sources)
+	wall := map[string]time.Duration{"callgraph": time.Since(graphStart)}
+	facts := analysis.NewFactStore()
+	res := &Result{}
+	for i, path := range order {
+		pkg := pkgs[i]
 		var diags []analysis.Diagnostic
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
-				Analyzer: a,
-				Fset:     loader.Fset,
-				Files:    pkg.Files,
-				Path:     pkg.ImportPath,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+				Analyzer:  a,
+				Fset:      loader.Fset,
+				Files:     pkg.Files,
+				Path:      pkg.ImportPath,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				CallGraph: graph,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 			}
 			facts.Bind(pass, a)
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			wall[a.Name] += time.Since(start)
+			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, path, err)
 			}
 		}
@@ -201,6 +236,21 @@ func RunDetail(opts Options) (*Result, error) {
 		}
 		return a.Line < b.Line
 	})
+	counts := map[string]int{}
+	for _, f := range res.Findings {
+		counts[f.Analyzer]++
+	}
+	res.Stats = append(res.Stats, Stat{
+		Analyzer: "callgraph",
+		WallMS:   float64(wall["callgraph"]) / float64(time.Millisecond),
+	})
+	for _, a := range analyzers {
+		res.Stats = append(res.Stats, Stat{
+			Analyzer: a.Name,
+			WallMS:   float64(wall[a.Name]) / float64(time.Millisecond),
+			Findings: counts[a.Name],
+		})
+	}
 	return res, nil
 }
 

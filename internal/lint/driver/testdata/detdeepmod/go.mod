@@ -1,0 +1,3 @@
+module detdeep.example
+
+go 1.22

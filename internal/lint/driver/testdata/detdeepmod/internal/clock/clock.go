@@ -1,0 +1,12 @@
+// Package clock is the bottom of the detdeepmod taint chain: it reads
+// the wall clock directly. It sits outside the determinism scope, so
+// its own sites are never flagged — only callers inside the scope see
+// findings, through the interprocedural summary.
+package clock
+
+import "time"
+
+// Stamp reads the machine's wall clock.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,55 @@
+// Package sim is the scoped package of the detdeepmod fixture. It
+// imports only util — never clock, never time — so every finding here
+// exists only because taint summaries travelled the module call graph:
+// plain calls two hops from the sink, function-value references and
+// calls, and interface dispatch onto a timer-arming implementation.
+package sim
+
+import "detdeep.example/internal/util"
+
+// Run leaks the wall clock through a callee chain whose sink lives two
+// packages away.
+func Run() int64 {
+	return util.Jitter() // want "call to util.Jitter may reach the wall clock"
+}
+
+// UseDodge calls a function whose only sink is a reference, not a call.
+func UseDodge() {
+	_ = util.Dodge() // want "call to util.Dodge may reach the wall clock"
+}
+
+// Safe calls the reasoned-detsafe function: its summary is empty, so
+// this line is silent.
+func Safe() {
+	_ = util.SafeStamp()
+}
+
+// Unsafe calls the reasonless-detsafe function: the directive did not
+// clear the taint.
+func Unsafe() {
+	_ = util.NoReason() // want "call to util.NoReason may reach the wall clock"
+}
+
+// apply hides the callee behind a function value.
+func apply(f func() int64) int64 {
+	return f() // want "call through a function value may reach util.Jitter"
+}
+
+// Indirect takes the tainted function as a value; the reference is the
+// leak, and the call inside apply is a second one.
+func Indirect() int64 {
+	f := util.Jitter // want "reference to util.Jitter may reach the wall clock"
+	return apply(f)
+}
+
+// ticker is a local interface; the only implementation in the module
+// arms a machine-clock timer.
+type ticker interface {
+	Tick() int64
+}
+
+// Wait dispatches through the interface; the taint arrives from
+// util.WallTicker.Tick without sim ever naming it.
+func Wait(t ticker) int64 {
+	return t.Tick() // want "dispatch may reach util.WallTicker.Tick"
+}

@@ -1,0 +1,53 @@
+// Package util is the middle of the detdeepmod taint chain: it leaks
+// clock's wall-clock taint one more hop, hides a sink behind a
+// function-value reference, arms a timer from a method, and carries
+// both a reasoned and a reasonless //loopvet:detsafe directive.
+package util
+
+import (
+	"time"
+
+	"detdeep.example/internal/clock"
+)
+
+// Jitter reaches the wall clock two calls deep (Jitter -> clock.Stamp
+// -> time.Now); sim never imports clock, so only the summary can carry
+// the taint there.
+func Jitter() int64 {
+	return clock.Stamp().UnixNano() % 1000
+}
+
+// SafeStamp is waived with a reason, so its taint summary is empty and
+// scoped callers stay silent.
+//
+//loopvet:detsafe fixture: stands in for an observation-only clock read that cannot change study output
+func SafeStamp() time.Time {
+	return clock.Stamp()
+}
+
+// NoReason carries the directive without a reason: that is itself a
+// finding, and the taint must NOT be cleared.
+//
+//loopvet:detsafe
+func NoReason() time.Time { // want "//loopvet:detsafe needs a reason"
+	return clock.Stamp()
+}
+
+// Dodge never calls a sink by name at a call site — it takes time.Now
+// as a value first. The reference edge must taint the summary anyway.
+func Dodge() time.Time {
+	now := time.Now
+	_ = now
+	return now()
+}
+
+// WallTicker satisfies sim's ticker interface with a machine-clock
+// timer, so interface dispatch in sim must pick up the taint.
+type WallTicker struct{}
+
+// Tick arms a real timer and blocks on it.
+func (WallTicker) Tick() int64 {
+	t := time.NewTimer(time.Millisecond)
+	<-t.C
+	return 1
+}

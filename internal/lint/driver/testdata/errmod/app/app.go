@@ -1,0 +1,35 @@
+// Package app is the caller side of the errmod fixture: every discard
+// shape against callees that live one package away, so the findings
+// only exist if summaries flow across the module call graph.
+package app
+
+import "errmod.example/store"
+
+func use(int) {}
+
+// Discards exercises the cross-package rules: bare and blank discards
+// of store's real error sources are findings, the always-nil callees
+// are silent.
+func Discards() {
+	store.Save("")          // want "error result of store.Save is silently discarded by the bare call"
+	_ = store.Save("")      // want "error result of store.Save is explicitly discarded with a blank assign"
+	v, _ := store.Load("x") // want "error result of store.Load is explicitly discarded"
+	use(v)
+	store.Validate() // always-nil across the package boundary: no finding
+	store.Chain()    // forwarded always-nil: no finding
+	_ = store.Chain()
+}
+
+// NeverRead captures the cross-package error and dodges it with a
+// blank read.
+func NeverRead() {
+	err := store.Save("x") // want "error err is captured here but never checked on any path"
+	_ = err
+}
+
+// Waived shows a reasoned waiver surviving the driver's waiver pass:
+// the discard below it produces no finding.
+func Waived() {
+	//lint:ignore loopvet/errflow fixture: the discard is the point of this test
+	store.Save("")
+}

@@ -1,0 +1,3 @@
+module errmod.example
+
+go 1.22

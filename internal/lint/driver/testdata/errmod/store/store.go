@@ -1,0 +1,35 @@
+// Package store is the callee side of the errmod fixture: one real
+// error source, one provably always-nil function and one function
+// forwarding the always-nil result, so the bottom-up summary (and its
+// exported fact) must cross the package boundary into app.
+package store
+
+import "errors"
+
+// Save fails for empty names: a real error the caller must handle.
+func Save(name string) error {
+	if name == "" {
+		return errors.New("store: empty name")
+	}
+	return nil
+}
+
+// Load returns a value and a real error.
+func Load(name string) (int, error) {
+	if name == "" {
+		return 0, errors.New("store: empty name")
+	}
+	return len(name), nil
+}
+
+// Validate returns nil on every path; discarding its result is
+// provably harmless.
+func Validate() error {
+	return nil
+}
+
+// Chain forwards Validate's always-nil result; the summary must see
+// through the forwarding.
+func Chain() error {
+	return Validate()
+}

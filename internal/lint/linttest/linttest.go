@@ -44,13 +44,14 @@ func Run(t *testing.T, srcRoot, importPath string, a *analysis.Analyzer) {
 
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer: a,
-		Fset:     loader.Fset,
-		Files:    pkg.Files,
-		Path:     pkg.ImportPath,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:  a,
+		Fset:      loader.Fset,
+		Files:     pkg.Files,
+		Path:      pkg.ImportPath,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		CallGraph: singleGraph(pkg),
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
@@ -96,13 +97,14 @@ func RunExpectCount(t *testing.T, srcRoot, importPath string, a *analysis.Analyz
 	}
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer: a,
-		Fset:     loader.Fset,
-		Files:    pkg.Files,
-		Path:     pkg.ImportPath,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:  a,
+		Fset:      loader.Fset,
+		Files:     pkg.Files,
+		Path:      pkg.ImportPath,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		CallGraph: singleGraph(pkg),
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
@@ -114,6 +116,18 @@ func RunExpectCount(t *testing.T, srcRoot, importPath string, a *analysis.Analyz
 		}
 		t.Errorf("%s on %s: got %d diagnostics, want %d", a.Name, importPath, len(diags), n)
 	}
+}
+
+// singleGraph builds a call graph over just the fixture package, so
+// interprocedural analyzers see same-package chains even in the
+// single-package harness. Cross-package dispatch needs RunModule.
+func singleGraph(pkg *load.Package) *analysis.CallGraph {
+	return analysis.BuildCallGraph([]analysis.CGSource{{
+		Path:  pkg.ImportPath,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+	}})
 }
 
 func collectWants(t *testing.T, loader *load.Loader, files []*ast.File) []*want {

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -34,6 +37,12 @@ func StartDebugServer(addr string, reg *Registry) (bound string, stop func() err
 // in-flight requests to complete, then force-closes whatever remains —
 // so a stuck profile download can delay shutdown by at most drain. A
 // non-positive drain skips the grace period and closes immediately.
+//
+// stop is idempotent — later calls return the first call's result. It
+// returns the shutdown error (if any) joined with the serve loop's
+// exit error, so an accept-loop failure that would otherwise vanish on
+// a background goroutine surfaces at the single point the caller
+// already checks.
 func StartDebugServerDrain(addr string, reg *Registry, drain time.Duration) (bound string, stop func() error, err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -44,8 +53,21 @@ func StartDebugServerDrain(addr string, reg *Registry, drain time.Duration) (bou
 	mux.Handle("/debug/vars", expvar.Handler())
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			// Render to a buffer first: once WriteHeader is implied by
+			// the first write, a mid-snapshot encoding error could only
+			// produce a torn 200 response. Buffering keeps the error
+			// reportable as a real 500.
+			var buf bytes.Buffer
+			if err := reg.WriteJSON(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
-			_ = reg.WriteJSON(w)
+			if _, err := buf.WriteTo(w); err != nil {
+				// The scraper hung up mid-response; it is the only party
+				// that could have been told, so count it and move on.
+				reg.Add("obs.debug.write_errors", 1)
+			}
 		})
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -53,22 +75,31 @@ func StartDebugServerDrain(addr string, reg *Registry, drain time.Duration) (bou
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	var (
+		once    sync.Once
+		stopErr error
+	)
 	stop = func() error {
-		if drain <= 0 {
-			return srv.Close()
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			// Drain budget exhausted: cut the stragglers loose.
-			closeErr := srv.Close()
-			if closeErr != nil {
-				return closeErr
+		once.Do(func() {
+			if drain <= 0 {
+				stopErr = srv.Close()
+			} else {
+				ctx, cancel := context.WithTimeout(context.Background(), drain)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					// Drain budget exhausted: cut the stragglers loose.
+					stopErr = errors.Join(err, srv.Close())
+				}
 			}
-			return err
-		}
-		return nil
+			// Serve returns ErrServerClosed on a clean Shutdown/Close;
+			// anything else is a real accept-loop failure.
+			if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				stopErr = errors.Join(stopErr, err)
+			}
+		})
+		return stopErr
 	}
 	return ln.Addr().String(), stop, nil
 }

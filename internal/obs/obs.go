@@ -228,6 +228,8 @@ func (r *Registry) Observe(name string, v float64) { r.Histogram(name).Observe(v
 // StartStage implements Collector: the returned func records the
 // elapsed span into "stage.<name>.seconds" and bumps
 // "stage.<name>.spans".
+//
+//loopvet:detsafe span clock is observation-only: stage durations feed metrics, never domain output, and the metrics-parity test proves runs emit byte-identical captures with metrics on or off
 func (r *Registry) StartStage(s Stage) func() {
 	r.mu.RLock()
 	now := r.now

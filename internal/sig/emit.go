@@ -79,6 +79,8 @@ func (e *Emitter) Emit(at time.Duration, m rrc.Message) error {
 
 // Append implements Sink. Write errors are sticky and surface at the
 // next Emit, Flush or Close.
+//
+//lint:ignore loopvet/errflow write errors are sticky by the Sink contract: the discarded Emit error resurfaces at the next Emit, Flush or Close
 func (e *Emitter) Append(at time.Duration, m rrc.Message) { e.Emit(at, m) }
 
 // BytesWritten returns how many rendered bytes have been accepted so
@@ -122,6 +124,7 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 // String renders the whole log as text.
 func (l *Log) String() string {
 	var b strings.Builder
+	//lint:ignore loopvet/errflow strings.Builder's Write never fails, so WriteTo cannot return an error here
 	l.WriteTo(&b) // strings.Builder never errors
 	return b.String()
 }

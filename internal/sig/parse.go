@@ -585,7 +585,7 @@ func (p *parser) buildSIB1(details [][]byte) (rrc.Message, error) {
 }
 
 func badThreshError(err error) error {
-	return fmt.Errorf("bad selectionThreshRSRP: %v", err)
+	return fmt.Errorf("bad selectionThreshRSRP: %w", err)
 }
 
 // parseFloatSlow is the strconv fallback for floats outside the exact
@@ -679,7 +679,7 @@ func findCellLineSlow(db []byte) (cell.Ref, error) {
 		return cell.Ref{PCI: pci, Channel: ch}, nil
 	}
 	if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, Freq = %d", &pci, &ch); err != nil {
-		return cell.Ref{}, fmt.Errorf("bad cell line %q: %v", d, err)
+		return cell.Ref{}, fmt.Errorf("bad cell line %q: %w", d, err)
 	}
 	return cell.Ref{PCI: pci, Channel: ch}, nil
 }
@@ -854,7 +854,7 @@ func scanAddModSlow(db []byte) (idx, pci, ch int, err error) {
 	d := string(db)
 	if _, serr := fmt.Sscanf(d, "sCellToAddModList {sCellIndex %d, physCellId %d, absoluteFrequencySSB %d}",
 		&idx, &pci, &ch); serr != nil {
-		return 0, 0, 0, fmt.Errorf("bad sCellToAddModList %q: %v", d, serr)
+		return 0, 0, 0, fmt.Errorf("bad sCellToAddModList %q: %w", d, serr)
 	}
 	return idx, pci, ch, nil
 }
@@ -863,7 +863,7 @@ func scanAddModSlow(db []byte) (idx, pci, ch int, err error) {
 func scanPairSlow(db []byte, format, what string) (a, b int, err error) {
 	d := string(db)
 	if _, serr := fmt.Sscanf(d, format, &a, &b); serr != nil {
-		return 0, 0, fmt.Errorf("%s %q: %v", what, d, serr)
+		return 0, 0, fmt.Errorf("%s %q: %w", what, d, serr)
 	}
 	return a, b, nil
 }
@@ -872,7 +872,7 @@ func scanPairSlow(db []byte, format, what string) (a, b int, err error) {
 func releaseTokSlow(d, tok []byte) (int, error) {
 	idx, err := strconv.Atoi(string(tok))
 	if err != nil {
-		return 0, fmt.Errorf("bad sCellToReleaseList %q: %v", d, err)
+		return 0, fmt.Errorf("bad sCellToReleaseList %q: %w", d, err)
 	}
 	return idx, nil
 }
@@ -977,7 +977,7 @@ func unknownMeasFieldError(key []byte) error {
 }
 
 func badMeasResultError(d []byte, err error) error {
-	return fmt.Errorf("bad measResult %q: %v", d, err)
+	return fmt.Errorf("bad measResult %q: %w", d, err)
 }
 
 // scanRefB is the canonical fast path for cell.ParseRef: full-token
@@ -1176,7 +1176,7 @@ func parseMeasObject(s string) (rrc.MeasObject, error) {
 		}
 		ch, err := strconv.Atoi(tok)
 		if err != nil {
-			return rrc.MeasObject{}, fmt.Errorf("bad measConfig channel %q: %v", tok, err)
+			return rrc.MeasObject{}, fmt.Errorf("bad measConfig channel %q: %w", tok, err)
 		}
 		mo.Channels = append(mo.Channels, ch)
 	}

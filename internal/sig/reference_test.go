@@ -221,7 +221,7 @@ func refBuildMessage(e *refRawEvent) (rrc.Message, error) {
 			if v, ok := strings.CutPrefix(d, "selectionThreshRSRP = "); ok {
 				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 				if err != nil {
-					return nil, fmt.Errorf("bad selectionThreshRSRP: %v", err)
+					return nil, fmt.Errorf("bad selectionThreshRSRP: %w", err)
 				}
 				m.ThreshRSRPDBm = units.DBm(f)
 			}
@@ -299,7 +299,7 @@ func refFindCellLine(details []string) (cell.Ref, error) {
 			return cell.Ref{PCI: pci, Channel: ch}, nil
 		}
 		if _, err := fmt.Sscanf(d, "Physical Cell ID = %d, Freq = %d", &pci, &ch); err != nil {
-			return cell.Ref{}, fmt.Errorf("bad cell line %q: %v", d, err)
+			return cell.Ref{}, fmt.Errorf("bad cell line %q: %w", d, err)
 		}
 		return cell.Ref{PCI: pci, Channel: ch}, nil
 	}
@@ -318,7 +318,7 @@ func refBuildReconfig(e *refRawEvent) (rrc.Message, error) {
 			var idx, pci, ch int
 			if _, err := fmt.Sscanf(d, "sCellToAddModList {sCellIndex %d, physCellId %d, absoluteFrequencySSB %d}",
 				&idx, &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad sCellToAddModList %q: %v", d, err)
+				return nil, fmt.Errorf("bad sCellToAddModList %q: %w", d, err)
 			}
 			m.AddSCells = append(m.AddSCells, rrc.SCellEntry{Index: idx, Cell: cell.Ref{PCI: pci, Channel: ch}})
 		case strings.HasPrefix(d, "sCellToReleaseList {"):
@@ -330,21 +330,21 @@ func refBuildReconfig(e *refRawEvent) (rrc.Message, error) {
 				}
 				idx, err := strconv.Atoi(tok)
 				if err != nil {
-					return nil, fmt.Errorf("bad sCellToReleaseList %q: %v", d, err)
+					return nil, fmt.Errorf("bad sCellToReleaseList %q: %w", d, err)
 				}
 				m.ReleaseSCells = append(m.ReleaseSCells, idx)
 			}
 		case strings.HasPrefix(d, "spCellConfig {"):
 			var pci, ch int
 			if _, err := fmt.Sscanf(d, "spCellConfig {physCellId %d, ssbFrequency %d}", &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad spCellConfig %q: %v", d, err)
+				return nil, fmt.Errorf("bad spCellConfig %q: %w", d, err)
 			}
 			ref := cell.Ref{PCI: pci, Channel: ch}
 			m.SpCell = &ref
 		case strings.HasPrefix(d, "scgSCell {"):
 			var pci, ch int
 			if _, err := fmt.Sscanf(d, "scgSCell {physCellId %d, ssbFrequency %d}", &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad scgSCell %q: %v", d, err)
+				return nil, fmt.Errorf("bad scgSCell %q: %w", d, err)
 			}
 			m.SCGSCells = append(m.SCGSCells, cell.Ref{PCI: pci, Channel: ch})
 		case d == "scg-Release {}":
@@ -352,7 +352,7 @@ func refBuildReconfig(e *refRawEvent) (rrc.Message, error) {
 		case strings.HasPrefix(d, "mobilityControlInfo {"):
 			var pci, ch int
 			if _, err := fmt.Sscanf(d, "mobilityControlInfo {targetPhysCellId %d, dl-CarrierFreq %d}", &pci, &ch); err != nil {
-				return nil, fmt.Errorf("bad mobilityControlInfo %q: %v", d, err)
+				return nil, fmt.Errorf("bad mobilityControlInfo %q: %w", d, err)
 			}
 			ref := cell.Ref{PCI: pci, Channel: ch}
 			m.Mobility = &ref
@@ -398,7 +398,7 @@ func refBuildMeasReport(e *refRawEvent) (rrc.Message, error) {
 				err = fmt.Errorf("unknown measResult field %q", key)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("bad measResult %q: %v", d, err)
+				return nil, fmt.Errorf("bad measResult %q: %w", d, err)
 			}
 		}
 		m.Entries = append(m.Entries, entry)

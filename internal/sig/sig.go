@@ -90,7 +90,7 @@ func Timestamp(d time.Duration) string {
 func parseTimestamp(s string) (time.Duration, error) {
 	var h, m, sec, ms int
 	if _, err := fmt.Sscanf(s, "%d:%d:%d.%d", &h, &m, &sec, &ms); err != nil {
-		return 0, fmt.Errorf("sig: bad timestamp %q: %v", s, err)
+		return 0, fmt.Errorf("sig: bad timestamp %q: %w", s, err)
 	}
 	if m < 0 || m > 59 || sec < 0 || sec > 59 || ms < 0 || ms > 999 || h < 0 {
 		return 0, fmt.Errorf("sig: timestamp %q out of range", s)

@@ -105,13 +105,12 @@ func (s *saEngine) anchorCandidates() []*cell.Cell {
 // establish performs cell selection and RRC connection establishment
 // (the paper's Fig. 24 flow).
 func (s *saEngine) establish() {
-	best, bestMeas := s.selectCell()
+	best, _ := s.selectCell()
 	if best == nil {
 		// Nothing above the selection threshold right now; retry soon.
 		s.idleUntil = s.now + 500*time.Millisecond
 		return
 	}
-	_ = bestMeas
 	if !s.broadcast {
 		s.emit(rrc.MIB{Rat: band.RATNR, Cell: best.Ref})
 		s.emit(rrc.SIB1{Rat: band.RATNR, Cell: best.Ref, ThreshRSRPDBm: s.cfg.Op.SelectThreshRSRPDBm})

@@ -14,6 +14,7 @@ package uesim
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -124,7 +125,14 @@ type Result struct {
 // memory.
 func Run(cfg Config) *Result {
 	log := &sig.Log{Events: make([]sig.Event, 0, 4096)}
-	RunTo(cfg, log)
+	if err := RunTo(cfg, log); err != nil {
+		// RunTo runs under a background context, which can neither be
+		// cancelled nor expire, and RunToContext's only error channel
+		// is its context. If this ever fires the capture is a torn
+		// prefix with no run-end stamp, and analyzing it as a complete
+		// run would corrupt a study — fail loudly instead.
+		panic(fmt.Sprintf("uesim: background run aborted: %v", err))
+	}
 	return &Result{Log: log}
 }
 
@@ -132,10 +140,12 @@ func Run(cfg Config) *Result {
 // happens. With a *sig.Emitter over an io.Pipe this streams a run
 // straight into the parser without ever materializing the capture; with
 // a *sig.Log it is Run. Events arrive in strictly increasing time
-// order.
-func RunTo(cfg Config, sink sig.Sink) {
-	// A background context never cancels, so the error is impossible.
-	_ = RunToContext(context.Background(), cfg, sink)
+// order. The returned error is RunToContext's: nil for the background
+// context used here unless the engine is changed to abort for new
+// reasons, in which case callers see it instead of a silent torn
+// capture.
+func RunTo(cfg Config, sink sig.Sink) error {
+	return RunToContext(context.Background(), cfg, sink)
 }
 
 // runAbort is the panic sentinel that unwinds the engine when its

@@ -305,8 +305,11 @@ func SimulateRun(cfg RunConfig) *RunResult { return uesim.Run(cfg) }
 
 // SimulateRunTo executes one stationary run, delivering each signaling
 // event to the sink as it happens instead of collecting a Log. With a
-// NewLogEmitter sink this streams the capture text end-to-end.
-func SimulateRunTo(cfg RunConfig, sink LogSink) { uesim.RunTo(cfg, sink) }
+// NewLogEmitter sink this streams the capture text end-to-end. The
+// returned error reports an aborted run, whose partial capture must be
+// discarded; it is always nil today (the run is not cancellable from
+// this facade) but callers should propagate it.
+func SimulateRunTo(cfg RunConfig, sink LogSink) error { return uesim.RunTo(cfg, sink) }
 
 // NewLogEmitter returns a LogSink that renders events to w in capture
 // format. Call Close when done to flush and recycle its buffers; the
